@@ -1,0 +1,158 @@
+// Ablation A4: order-preserving value-encoding microbenchmarks.
+//
+// The index-key codec sits on the hot path of every write (index entry
+// construction) and every query (range bounds + suffix parsing); these
+// google-benchmark microbenchmarks track its throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "firestore/codec/document_codec.h"
+#include "firestore/codec/value_codec.h"
+#include "firestore/index/layout.h"
+#include "firestore/model/document.h"
+
+namespace firestore {
+namespace {
+
+using codec::AppendValueAsc;
+using codec::AppendValueDesc;
+using codec::EncodeValueAsc;
+using codec::ParseValueAsc;
+using model::Document;
+using model::Map;
+using model::Value;
+
+std::vector<Value> MakeCorpus() {
+  Rng rng(4);
+  std::vector<Value> corpus;
+  for (int i = 0; i < 256; ++i) {
+    switch (i % 5) {
+      case 0:
+        corpus.push_back(Value::Integer(rng.Uniform(-1'000'000, 1'000'000)));
+        break;
+      case 1:
+        corpus.push_back(Value::Double(rng.NextDouble() * 1e6));
+        break;
+      case 2:
+        corpus.push_back(Value::String(rng.AlphaNumString(24)));
+        break;
+      case 3:
+        corpus.push_back(Value::FromArray(
+            {Value::Integer(i), Value::String(rng.AlphaNumString(8))}));
+        break;
+      default:
+        corpus.push_back(Value::FromMap(
+            {{"a", Value::Integer(i)}, {"b", Value::Double(i * 0.5)}}));
+        break;
+    }
+  }
+  return corpus;
+}
+
+void BM_EncodeValueAsc(benchmark::State& state) {
+  auto corpus = MakeCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string out;
+    AppendValueAsc(out, corpus[i++ % corpus.size()]);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EncodeValueAsc);
+
+void BM_EncodeValueDesc(benchmark::State& state) {
+  auto corpus = MakeCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string out;
+    AppendValueDesc(out, corpus[i++ % corpus.size()]);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EncodeValueDesc);
+
+void BM_DecodeValueAsc(benchmark::State& state) {
+  auto corpus = MakeCorpus();
+  std::vector<std::string> encoded;
+  for (const Value& v : corpus) encoded.push_back(EncodeValueAsc(v));
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string_view view = encoded[i++ % encoded.size()];
+    Value out;
+    bool ok = ParseValueAsc(&view, &out);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DecodeValueAsc);
+
+void BM_CompareEncoded(benchmark::State& state) {
+  auto corpus = MakeCorpus();
+  std::vector<std::string> encoded;
+  for (const Value& v : corpus) encoded.push_back(EncodeValueAsc(v));
+  size_t i = 0;
+  for (auto _ : state) {
+    int c = encoded[i % encoded.size()].compare(
+        encoded[(i + 1) % encoded.size()]);
+    benchmark::DoNotOptimize(c);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompareEncoded);
+
+void BM_CompareLogical(benchmark::State& state) {
+  auto corpus = MakeCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    int c = corpus[i % corpus.size()].Compare(
+        corpus[(i + 1) % corpus.size()]);
+    benchmark::DoNotOptimize(c);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompareLogical);
+
+void BM_SerializeDocument(benchmark::State& state) {
+  Rng rng(5);
+  Map fields;
+  for (int f = 0; f < 10; ++f) {
+    fields["f" + std::to_string(f)] = Value::String(rng.AlphaNumString(64));
+  }
+  Document doc(model::ResourcePath::Parse("/c/d").value(), fields);
+  for (auto _ : state) {
+    std::string bytes = codec::SerializeDocument(doc);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_SerializeDocument);
+
+void BM_ParseDocument(benchmark::State& state) {
+  Rng rng(5);
+  Map fields;
+  for (int f = 0; f < 10; ++f) {
+    fields["f" + std::to_string(f)] = Value::String(rng.AlphaNumString(64));
+  }
+  Document doc(model::ResourcePath::Parse("/c/d").value(), fields);
+  std::string bytes = codec::SerializeDocument(doc);
+  for (auto _ : state) {
+    auto parsed = codec::ParseDocument(bytes);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseDocument);
+
+void BM_IndexEntryKey(benchmark::State& state) {
+  auto name = model::ResourcePath::Parse("/restaurants/one").value();
+  std::string values = EncodeValueAsc(Value::String("SF"));
+  for (auto _ : state) {
+    std::string key = index::IndexEntryKey("db", 42, values, name);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_IndexEntryKey);
+
+}  // namespace
+}  // namespace firestore
+
+BENCHMARK_MAIN();

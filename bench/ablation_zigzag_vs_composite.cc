@@ -1,0 +1,98 @@
+// Ablation A1: zig-zag join of single-field indexes vs a user-defined
+// composite index (paper §IV-D3).
+//
+// "To reduce the need for user-defined indexes, Firestore joins existing
+// indexes. ... We do occasionally receive support cases for query
+// performance caused by slow index joins that are remediated by defining
+// additional indexes."
+//
+// We run `city == X AND type == Y` at varying predicate selectivities and
+// compare index rows scanned and seeks for the zig-zag plan (joining the
+// automatic (city) and (type) indexes) against the composite (city, type)
+// plan. The join degrades when both predicates are individually weak but
+// jointly selective — exactly the support-case regime.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "service/service.h"
+
+using namespace firestore;
+
+namespace {
+model::FieldPath F(const std::string& f) {
+  return model::FieldPath::Parse(f).value();
+}
+}  // namespace
+
+int main() {
+  RealClock clock;
+  service::FirestoreService service(&clock);
+  const std::string db = "projects/bench/databases/join";
+  FS_CHECK_OK(service.CreateDatabase(db));
+  Rng rng(41);
+
+  // 20k restaurants; `city` in {c0..c9}, `type` in {t0..t9} uniformly, but
+  // the combination (c0, t0) is rare: both predicates are weak (10%) alone
+  // and strong together.
+  constexpr int kDocs = 20'000;
+  int joint = 0;
+  for (int i = 0; i < kDocs; ++i) {
+    int c = static_cast<int>(rng.Uniform(0, 9));
+    int t = static_cast<int>(rng.Uniform(0, 9));
+    if (c == 0 && t == 0 && joint >= 20) t = 1;  // keep the joint set tiny
+    if (c == 0 && t == 0) ++joint;
+    auto result = service.Commit(
+        db, {backend::Mutation::Set(
+                model::ResourcePath::Parse("/restaurants/r" +
+                                           std::to_string(i))
+                    .value(),
+                {{"city", model::Value::String("c" + std::to_string(c))},
+                 {"type", model::Value::String("t" + std::to_string(t))}})});
+    FS_CHECK(result.ok());
+  }
+
+  query::Query q(model::ResourcePath(), "restaurants");
+  q.Where(F("city"), query::Operator::kEqual, model::Value::String("c0"))
+      .Where(F("type"), query::Operator::kEqual, model::Value::String("t0"));
+
+  auto run = [&](const char* label) {
+    auto start = std::chrono::steady_clock::now();
+    auto r = service.RunQuery(db, q);
+    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    FS_CHECK(r.ok());
+    std::printf("%-22s %8zu results %10lld rows scanned %8lld seeks "
+                "%8lld fetches %10lld us wall\n",
+                label, r->result.documents.size(),
+                static_cast<long long>(r->result.stats.index_rows_scanned),
+                static_cast<long long>(r->result.stats.seeks),
+                static_cast<long long>(r->result.stats.entities_fetched),
+                static_cast<long long>(micros));
+    std::printf("  plan: %s\n", r->plan_description.c_str());
+    return r->result.documents.size();
+  };
+
+  std::printf("=== Ablation A1: zig-zag join vs composite index ===\n");
+  std::printf("dataset: %d docs, 10x10 city/type grid, joint (c0,t0) "
+              "set has %d docs\n\n",
+              kDocs, joint);
+  size_t zigzag_results = run("zig-zag (auto indexes)");
+
+  // Now define the composite index the support engineer would recommend.
+  FS_CHECK_OK(service
+                  .CreateCompositeIndex(
+                      db, "restaurants",
+                      {{F("city"), index::SegmentKind::kAscending},
+                       {F("type"), index::SegmentKind::kAscending}})
+                  .status());
+  size_t composite_results = run("composite (city,type)");
+  FS_CHECK_EQ(zigzag_results, composite_results);
+
+  std::printf("\nshape check: identical results; the composite plan scans "
+              "~|result| rows while the zig-zag plan leapfrogs through the "
+              "two ~10%%-selective single-field ranges.\n");
+  return 0;
+}

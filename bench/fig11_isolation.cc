@@ -1,0 +1,105 @@
+// Figure 11: multi-tenant isolation via fair CPU scheduling (paper §V-C).
+//
+// A fixed-capacity Backend (no autoscaling) serves two databases: a
+// "culprit" sending CPU-intensive queries (inefficient indexing setup)
+// ramping linearly to 500 QPS, and a "bystander" sending 100 QPS of
+// single-document fetches. We run the identical trace with the Backend's
+// fair-CPU-share scheduler (keyed by database id, §IV-C) ON and OFF and
+// report the bystander's latency percentiles over time windows.
+//
+// Expected shape (paper): without fairness, the bystander's latency
+// explodes once the culprit saturates capacity halfway through the ramp;
+// with fairness, bystander p50 stays flat and only p99 rises modestly
+// (the paper plots this on a log scale).
+
+#include "common/logging.h"
+#include <cstdio>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "sim/cpu_server.h"
+#include "sim/simulation.h"
+
+using namespace firestore;
+
+namespace {
+
+constexpr Micros kRunDuration = 60'000'000;   // 60 virtual seconds
+constexpr Micros kWindow = 10'000'000;        // report per 10 s window
+constexpr int kWorkers = 8;                   // fixed capacity
+constexpr Micros kBystanderCost = 100;        // single-document fetch
+constexpr Micros kCulpritCost = 32'000;       // inefficient query
+constexpr double kBystanderQps = 100;
+constexpr double kCulpritPeakQps = 500;
+
+std::vector<Histogram> RunTrace(bool fair_share) {
+  sim::Simulation sim;
+  sim::CpuServer::Options options;
+  options.workers = kWorkers;
+  options.fair_share = fair_share;
+  // Bound queueing so the overloaded case sheds rather than growing
+  // unboundedly (the load-shedding of §IV-C).
+  options.max_queue = 100'000;
+  sim::CpuServer backend(&sim, options);
+  Rng rng(fair_share ? 1 : 2);
+
+  std::vector<Histogram> windows(kRunDuration / kWindow);
+
+  // Bystander: steady 100 QPS of cheap fetches.
+  std::function<void()> bystander = [&] {
+    if (sim.now() >= kRunDuration) return;
+    Micros submitted = sim.now();
+    backend.Submit("bystander-db", kBystanderCost, [&, submitted] {
+      size_t window = static_cast<size_t>(submitted / kWindow);
+      if (window < windows.size()) {
+        windows[window].Record(static_cast<double>(sim.now() - submitted));
+      }
+    });
+    sim.After(static_cast<Micros>(rng.Exponential(1e6 / kBystanderQps)),
+              bystander);
+  };
+  // Culprit: rate ramps linearly from 0 to 500 QPS over the run.
+  std::function<void()> culprit = [&] {
+    if (sim.now() >= kRunDuration) return;
+    backend.Submit("culprit-db", kCulpritCost, nullptr);
+    double progress =
+        static_cast<double>(sim.now()) / static_cast<double>(kRunDuration);
+    double rate = std::max(1.0, kCulpritPeakQps * progress);
+    sim.After(static_cast<Micros>(rng.Exponential(1e6 / rate)), culprit);
+  };
+  sim.After(1, bystander);
+  sim.After(1, culprit);
+  sim.Run(kRunDuration + 5'000'000);
+  return windows;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 11: bystander latency under a culprit CPU ramp "
+              "(fixed capacity: %d workers) ===\n",
+              kWorkers);
+  std::printf("capacity %.0f CPU-s/s; culprit saturates it at ~%.0f QPS "
+              "(%.0f ms/query), i.e. ~halfway through the ramp\n",
+              static_cast<double>(kWorkers),
+              kWorkers * 1e6 / kCulpritCost,
+              kCulpritCost / 1000.0);
+  auto unfair = RunTrace(/*fair_share=*/false);
+  auto fair = RunTrace(/*fair_share=*/true);
+  std::printf("\n%-10s | %-26s | %-26s\n", "window",
+              "fair OFF: p50 / p99 (ms)", "fair ON: p50 / p99 (ms)");
+  for (size_t w = 0; w < unfair.size(); ++w) {
+    std::printf("%3zu-%3zus   | %11.2f / %-12.2f | %11.2f / %-12.2f\n",
+                w * 10, (w + 1) * 10,
+                unfair[w].Quantile(0.5) / 1000.0,
+                unfair[w].Quantile(0.99) / 1000.0,
+                fair[w].Quantile(0.5) / 1000.0,
+                fair[w].Quantile(0.99) / 1000.0);
+  }
+  std::printf("\npaper shape check: with fair scheduling OFF the bystander "
+              "degrades by orders of magnitude once capacity is reached "
+              "(~window 3+); with fair scheduling ON p50 stays flat and "
+              "p99 rises to at most ~one culprit service time.\n");
+  return 0;
+}

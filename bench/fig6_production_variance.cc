@@ -1,0 +1,98 @@
+// Figure 6: production statistics — variance across tenant databases in
+// storage size, throughput (QPS) and active real-time queries, normalized to
+// the median (paper §V-A: boxplots spanning ~9 orders of magnitude).
+//
+// Substitution (DESIGN.md): the paper measures 4M production databases; we
+// (a) exercise the real multi-tenant path with a few hundred live tenant
+// databases of wildly varying size sharing one Spanner instance, and
+// (b) report the boxplot over a 100k-tenant synthetic population drawn from
+// the heavy-tailed (lognormal) shape such fleets exhibit, calibrated so the
+// max/median ratio spans the paper's ~9 decades.
+
+#include "common/logging.h"
+#include <cstdio>
+#include <vector>
+
+#include "backend/types.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "service/service.h"
+
+using namespace firestore;
+
+namespace {
+
+void PrintBoxplot(const char* metric, std::vector<double> values) {
+  BoxplotStats s = ComputeBoxplot(values);
+  double median = s.p50 > 0 ? s.p50 : 1;
+  std::printf("%-28s %9.2e %9.2e %9.2e %9.2e %9.2e %9.2e %9.2e\n", metric,
+              s.min / median, s.p1 / median, s.p25 / median, 1.0,
+              s.p75 / median, s.p99 / median, s.max / median);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: per-database variance, normalized to median ===\n");
+
+  // --- Part (a): real multi-tenant service with live tenants ---
+  RealClock clock;
+  service::FirestoreService service(&clock);
+  Rng rng(6);
+  constexpr int kLiveTenants = 200;
+  std::vector<double> live_storage, live_ops;
+  for (int i = 0; i < kLiveTenants; ++i) {
+    std::string db = "projects/t" + std::to_string(i) + "/databases/d";
+    FS_CHECK_OK(service.CreateDatabase(db));
+    // Lognormal document counts: most tenants tiny, a few large.
+    int docs = static_cast<int>(rng.LogNormal(1.2, 1.6)) + 1;
+    docs = std::min(docs, 2000);
+    for (int d = 0; d < docs; ++d) {
+      auto result = service.Commit(
+          db, {backend::Mutation::Set(
+                  model::ResourcePath::Parse("/items/i" + std::to_string(d))
+                      .value(),
+                  {{"payload",
+                    model::Value::String(rng.AlphaNumString(
+                        static_cast<size_t>(rng.Uniform(20, 400))))}})});
+      FS_CHECK(result.ok());
+    }
+    backend::UsageCounters usage = service.billing().Usage(db);
+    live_storage.push_back(static_cast<double>(usage.storage_bytes) + 1);
+    live_ops.push_back(static_cast<double>(usage.document_writes) + 1);
+  }
+  std::printf("\n[a] %d live tenants sharing one Spanner instance "
+              "(real storage accounting)\n",
+              kLiveTenants);
+  std::printf("%-28s %9s %9s %9s %9s %9s %9s %9s\n", "metric", "min", "p1",
+              "p25", "p50", "p75", "p99", "max");
+  PrintBoxplot("storage bytes (live)", live_storage);
+  PrintBoxplot("writes (live)", live_ops);
+
+  // --- Part (b): full-population synthetic boxplots ---
+  // sigma ~4.7 puts the max of 100k lognormal draws ~9 decades over the
+  // median, matching the paper's spread.
+  constexpr int kPopulation = 100'000;
+  std::vector<double> storage, qps, active_queries;
+  storage.reserve(kPopulation);
+  qps.reserve(kPopulation);
+  active_queries.reserve(kPopulation);
+  for (int i = 0; i < kPopulation; ++i) {
+    storage.push_back(rng.LogNormal(10.0, 4.8));
+    qps.push_back(rng.LogNormal(0.0, 4.7));
+    // Active real-time queries: spread is smaller ("several hundred
+    // thousand times the median").
+    active_queries.push_back(rng.LogNormal(0.0, 3.1));
+  }
+  std::printf("\n[b] synthetic population of %d tenants "
+              "(heavy-tailed, values relative to median)\n",
+              kPopulation);
+  std::printf("%-28s %9s %9s %9s %9s %9s %9s %9s\n", "metric", "min", "p1",
+              "p25", "p50", "p75", "p99", "max");
+  PrintBoxplot("storage size", storage);
+  PrintBoxplot("throughput (QPS)", qps);
+  PrintBoxplot("active real-time queries", active_queries);
+  std::printf("\npaper shape check: storage and QPS max/median span >= 9 "
+              "decades; active queries ~5-6 decades.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: YCSB read latencies (p50/p99) vs target throughput, workloads A
+// (50% reads / 50% updates) and B (95% reads / 5% updates), uniform keys,
+// 900-byte documents (paper §V-B1).
+//
+// Expected shape (paper): p50 roughly constant across throughput levels; p99
+// rises at the higher levels, more on the write-heavy workload A (rapid
+// ramp-up outpaces autoscaling); workload B sees lower latencies than A.
+//
+// Every operation performs the real engine work (strong reads, committed
+// writes with index maintenance) against a multi-region latency model in
+// virtual time.
+
+#include "common/logging.h"
+#include <cstdio>
+
+#include "ycsb/ycsb.h"
+
+using namespace firestore;
+
+int main() {
+  const double levels[] = {50, 100, 200, 400, 800, 1600};
+  std::printf("=== Figure 7: YCSB read latency vs target QPS "
+              "(multi-region, strong reads) ===\n");
+  for (const ycsb::WorkloadSpec& spec :
+       {ycsb::WorkloadA(800), ycsb::WorkloadB(800)}) {
+    std::printf("\nworkload %s (%d%% reads)\n", spec.name.c_str(),
+                static_cast<int>(spec.read_fraction * 100));
+    std::printf("%10s %12s %12s %12s %12s\n", "targetQPS", "achievedQPS",
+                "read p50 ms", "read p95 ms", "read p99 ms");
+    for (double qps : levels) {
+      ycsb::YcsbRunner::Options options;
+      // Measure from t=0: the paper's elevated p99 at high QPS comes from
+      // the abrupt YCSB ramp outrunning autoscaling ("capacity is not
+      // pre-allocated for individual databases"), so the cold-start
+      // transient belongs in the measurement.
+      options.measure_duration = 15'000'000;
+      options.warmup_duration = 0;
+      options.initial_backend_workers = 1;
+      options.backend_read_cost = 400;
+      options.backend_update_cost = 1200;
+      ycsb::YcsbRunner runner(spec, options, /*seed=*/7);
+      ycsb::RunResult r = runner.RunLevel(qps);
+      std::printf("%10.0f %12.0f %12.2f %12.2f %12.2f\n", r.target_qps,
+                  r.achieved_qps, r.read_latency.Quantile(0.5) / 1000.0,
+                  r.read_latency.Quantile(0.95) / 1000.0,
+                  r.read_latency.Quantile(0.99) / 1000.0);
+    }
+  }
+  std::printf("\npaper shape check: p50 flat across levels; p99 grows at "
+              "high QPS, more under workload A.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Figure 9: real-time notification latency vs number of Listen connections
+// (paper §V-B1): one document is written once per second while an
+// exponentially increasing number of clients hold a real-time query whose
+// result set includes it. Notification latency = from the Spanner commit
+// acknowledgement until the *last* client is notified by the Frontend.
+//
+// Expected shape (paper): latency stays roughly flat as listeners grow
+// exponentially, because Frontend autoscaling adds tasks with connection
+// count. A fixed-size Frontend pool (extra column) degrades linearly — the
+// counterfactual the paper's architecture avoids.
+//
+// Every listener is a real Frontend target (real matcher subscriptions,
+// real snapshot assembly); the per-notification CPU and RPC costs are
+// charged in virtual time.
+
+#include "common/logging.h"
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "service/service.h"
+#include "sim/cpu_server.h"
+#include "sim/latency_model.h"
+#include "sim/simulation.h"
+
+using namespace firestore;
+
+namespace {
+
+constexpr Micros kNotifyCpuCost = 15;  // per-client send work on a Frontend
+
+// Runs the scenario with `listeners` connections; returns the mean over
+// writes of (last client notified - commit ack), in micros.
+double RunScenario(int listeners, bool autoscaled, double* commit_ms) {
+  sim::Simulation sim(1'000'000'000);
+  service::FirestoreService service(sim.clock());
+  const std::string db = "projects/bench/databases/scores";
+  FS_CHECK_OK(service.CreateDatabase(db));
+  auto path = model::ResourcePath::Parse("/games/final").value();
+  FS_CHECK(service
+               .Commit(db, {backend::Mutation::Set(
+                               path, {{"status", model::Value::String(
+                                                     "live")},
+                                      {"home", model::Value::Integer(0)}})})
+               .ok());
+  service.Pump();
+
+  // Real listeners.
+  query::Query live(model::ResourcePath(), "games");
+  live.Where(model::FieldPath::Single("status"), query::Operator::kEqual,
+             model::Value::String("live"));
+  int64_t deliveries = 0;
+  for (int i = 0; i < listeners; ++i) {
+    auto conn = service.frontend().OpenPrivilegedConnection(db);
+    auto target = service.frontend().Listen(
+        conn, live,
+        [&deliveries](const frontend::QuerySnapshot&) { ++deliveries; });
+    FS_CHECK(target.ok());
+  }
+
+  // Frontend send pool: autoscaling reacts to the number of connections
+  // (paper: "the increase in active real-time queries increases the load on
+  // Frontend tasks, which leads autoscaling to quickly scale up the number
+  // of Frontend tasks").
+  sim::CpuServer::Options pool_options;
+  pool_options.workers =
+      autoscaled ? std::max(2, listeners / 500) : 4;
+  sim::CpuServer frontend_pool(&sim, pool_options);
+
+  sim::LatencyModel latency;
+  Rng rng(static_cast<uint64_t>(listeners) + 9);
+
+  constexpr int kWrites = 5;
+  double total_notify = 0;
+  double total_commit = 0;
+  for (int w = 1; w <= kWrites; ++w) {
+    // One write per second.
+    sim.After(1'000'000, [] {});
+    sim.Run();
+    auto commit = service.Commit(
+        db, {backend::Mutation::Merge(
+                path, {{"home", model::Value::Integer(w)}})});
+    FS_CHECK(commit.ok());
+    Micros commit_lat = latency.SpannerCommit(
+        rng, commit->spanner_participants, 64,
+        commit->index_entries_written);
+    total_commit += static_cast<double>(commit_lat);
+    // Deliver through the real pipeline.
+    service.Pump();
+    service.Pump();
+    // Charge fan-out: commit ack at T0; Changelog->Matcher->Frontend hop,
+    // then one send job per listener on the Frontend pool.
+    Micros t0 = sim.now();
+    Micros ingest = latency.RpcHop(rng) + latency.RpcHop(rng);
+    Micros last_notified = t0;
+    for (int i = 0; i < listeners; ++i) {
+      sim.After(ingest, [&, i] {
+        frontend_pool.Submit("conn" + std::to_string(i % 64),
+                             kNotifyCpuCost, [&] {
+                               Micros done =
+                                   sim.now() + latency.RpcHop(rng);
+                               if (done > last_notified) {
+                                 last_notified = done;
+                               }
+                             });
+      });
+    }
+    sim.Run();
+    total_notify += static_cast<double>(last_notified - t0);
+  }
+  FS_CHECK_EQ(deliveries, static_cast<int64_t>(listeners) * (kWrites + 1));
+  if (commit_ms != nullptr) *commit_ms = total_commit / kWrites / 1000.0;
+  return total_notify / kWrites;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 9: notification latency vs Listen connections ===\n");
+  std::printf("%10s %22s %22s %12s\n", "listeners",
+              "notify ms (autoscaled)", "notify ms (fixed pool)",
+              "commit ms");
+  for (int listeners : {16, 64, 256, 1024, 4096, 16384, 65536}) {
+    double commit_ms = 0;
+    double autoscaled = RunScenario(listeners, true, &commit_ms);
+    double fixed = RunScenario(listeners, false, nullptr);
+    std::printf("%10d %22.2f %22.2f %12.2f\n", listeners,
+                autoscaled / 1000.0, fixed / 1000.0, commit_ms);
+  }
+  std::printf("\npaper shape check: autoscaled notification latency stays "
+              "~flat under exponential listener growth; commit latency is "
+              "unaffected (the Real-time Cache path is independent).\n");
+  return 0;
+}

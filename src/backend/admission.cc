@@ -1,0 +1,120 @@
+#include "backend/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace firestore::backend {
+
+bool TrafficRampTracker::Record(const std::string& database_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Micros now = clock_->NowMicros();
+  State& state = per_db_[database_id];
+  if (state.recent.empty()) state.ramp_start = now;
+  state.recent.push_back(now);
+  while (!state.recent.empty() &&
+         state.recent.front() < now - options_.window) {
+    state.recent.pop_front();
+  }
+  double qps = static_cast<double>(state.recent.size()) *
+               (1e6 / static_cast<double>(options_.window));
+  double periods = static_cast<double>(now - state.ramp_start) /
+                   static_cast<double>(options_.growth_period);
+  double allowed = options_.base_qps * std::pow(options_.growth_factor,
+                                                periods);
+  return qps <= allowed;
+}
+
+double TrafficRampTracker::AllowedQps(const std::string& database_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_db_.find(database_id);
+  if (it == per_db_.end()) return options_.base_qps;
+  double periods =
+      static_cast<double>(clock_->NowMicros() - it->second.ramp_start) /
+      static_cast<double>(options_.growth_period);
+  return options_.base_qps * std::pow(options_.growth_factor, periods);
+}
+
+double TrafficRampTracker::CurrentQps(const std::string& database_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_db_.find(database_id);
+  if (it == per_db_.end()) return 0;
+  Micros now = clock_->NowMicros();
+  int count = 0;
+  for (Micros t : it->second.recent) {
+    if (t >= now - options_.window) ++count;
+  }
+  return static_cast<double>(count) *
+         (1e6 / static_cast<double>(options_.window));
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseOne(database_id_);
+    controller_ = nullptr;
+  }
+}
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    const std::string& database_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int limit = options_.default_inflight_limit;
+  auto it = limits_.find(database_id);
+  if (it != limits_.end()) limit = it->second;
+  int& current = inflight_[database_id];
+  if (limit > 0 && current >= limit) {
+    ++rejected_;
+    return ResourceExhaustedError(
+        "database over its in-flight RPC limit: " + database_id);
+  }
+  ++current;
+  return Ticket(this, database_id);
+}
+
+void AdmissionController::ReleaseOne(const std::string& database_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(database_id);
+  if (it != inflight_.end() && it->second > 0) --it->second;
+}
+
+void AdmissionController::SetInflightLimit(const std::string& database_id,
+                                           int limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  limits_[database_id] = limit;
+}
+
+void AdmissionController::ClearInflightLimit(
+    const std::string& database_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  limits_.erase(database_id);
+}
+
+void AdmissionController::RouteToIsolatedPool(const std::string& database_id,
+                                              const std::string& pool_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pools_[database_id] = pool_name;
+}
+
+void AdmissionController::ClearIsolatedPool(const std::string& database_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pools_.erase(database_id);
+}
+
+std::string AdmissionController::PoolFor(
+    const std::string& database_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pools_.find(database_id);
+  return it == pools_.end() ? "default" : it->second;
+}
+
+int AdmissionController::inflight(const std::string& database_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(database_id);
+  return it == inflight_.end() ? 0 : it->second;
+}
+
+int64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace firestore::backend

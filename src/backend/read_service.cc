@@ -1,0 +1,179 @@
+#include "backend/read_service.h"
+
+#include "firestore/codec/document_codec.h"
+#include "firestore/index/layout.h"
+#include "firestore/query/planner.h"
+#include "firestore/query/row_reader.h"
+
+namespace firestore::backend {
+
+using model::Document;
+using model::ResourcePath;
+using spanner::Timestamp;
+
+StatusOr<std::optional<Document>> ReadService::ReadDocumentAt(
+    const std::string& database_id, const ResourcePath& name,
+    Timestamp read_ts) const {
+  Timestamp version = 0;
+  ASSIGN_OR_RETURN(spanner::RowValue row,
+                   spanner_->SnapshotRead(
+                       index::kEntitiesTable,
+                       index::EntityKey(database_id, name), read_ts,
+                       &version));
+  if (!row.has_value()) return std::optional<Document>();
+  ASSIGN_OR_RETURN(Document doc, codec::ParseDocument(*row));
+  codec::ResolveDocumentTimestamps(doc, version);
+  return std::optional<Document>(std::move(doc));
+}
+
+StatusOr<std::optional<Document>> ReadService::GetDocument(
+    const std::string& database_id, const ResourcePath& name,
+    Timestamp read_ts, const rules::RuleSet* rules,
+    const rules::AuthContext* auth) {
+  if (!name.IsDocumentPath()) {
+    return InvalidArgumentError("'" + name.CanonicalString() +
+                                "' is not a document path");
+  }
+  if (read_ts == 0) read_ts = spanner_->StrongReadTimestamp();
+  ASSIGN_OR_RETURN(std::optional<Document> doc,
+                   ReadDocumentAt(database_id, name, read_ts));
+  if (rules != nullptr) {
+    rules::AccessRequest request;
+    request.kind = rules::AccessKind::kGet;
+    request.path = name;
+    request.auth = auth != nullptr ? *auth : rules::AuthContext{};
+    request.resource = doc;
+    request.lookup = [this, &database_id, read_ts](const ResourcePath& p) {
+      return ReadDocumentAt(database_id, p, read_ts);
+    };
+    RETURN_IF_ERROR(rules->Authorize(request));
+  }
+  if (billing_ != nullptr) billing_->RecordReads(database_id, 1);
+  return doc;
+}
+
+StatusOr<RunQueryResult> ReadService::RunQuery(
+    const std::string& database_id, index::IndexCatalog& catalog,
+    const query::Query& q, Timestamp read_ts, const rules::RuleSet* rules,
+    const rules::AuthContext* auth) {
+  if (read_ts == 0) read_ts = spanner_->StrongReadTimestamp();
+  // "The execution of a non-real-time query starts by verifying the
+  // security rules for the collection specified in the query" (§IV-D3).
+  if (rules != nullptr) {
+    rules::AccessRequest request;
+    request.kind = rules::AccessKind::kList;
+    // Authorize against a representative member of the collection: patterns
+    // like /restaurants/{id} match with {id} bound to "*".
+    request.path = q.CollectionPath().Child("*");
+    request.auth = auth != nullptr ? *auth : rules::AuthContext{};
+    request.lookup = [this, &database_id, read_ts](const ResourcePath& p) {
+      return ReadDocumentAt(database_id, p, read_ts);
+    };
+    RETURN_IF_ERROR(rules->Authorize(request));
+  }
+  ASSIGN_OR_RETURN(query::QueryPlan plan,
+                   query::PlanQuery(catalog, database_id, q));
+  query::SnapshotRowReader reader(spanner_, read_ts);
+  query::ExecOptions exec_options;
+  exec_options.max_index_rows = max_rows_per_rpc_;
+  ASSIGN_OR_RETURN(
+      query::QueryResult result,
+      query::ExecuteQuery(reader, database_id, q, plan, exec_options));
+  if (billing_ != nullptr) {
+    // Firestore bills by documents in the result set (paper §VIII).
+    billing_->RecordReads(
+        database_id,
+        std::max<int64_t>(1,
+                          static_cast<int64_t>(result.documents.size())));
+  }
+  RunQueryResult out;
+  out.result = std::move(result);
+  out.read_ts = read_ts;
+  out.plan_description = plan.DebugString();
+  return out;
+}
+
+StatusOr<RunCountResult> ReadService::RunCountQuery(
+    const std::string& database_id, index::IndexCatalog& catalog,
+    const query::Query& q, Timestamp read_ts, const rules::RuleSet* rules,
+    const rules::AuthContext* auth) {
+  if (read_ts == 0) read_ts = spanner_->StrongReadTimestamp();
+  if (rules != nullptr) {
+    rules::AccessRequest request;
+    request.kind = rules::AccessKind::kList;
+    request.path = q.CollectionPath().Child("*");
+    request.auth = auth != nullptr ? *auth : rules::AuthContext{};
+    request.lookup = [this, &database_id, read_ts](const ResourcePath& p) {
+      return ReadDocumentAt(database_id, p, read_ts);
+    };
+    RETURN_IF_ERROR(rules->Authorize(request));
+  }
+  ASSIGN_OR_RETURN(query::QueryPlan plan,
+                   query::PlanQuery(catalog, database_id, q));
+  query::SnapshotRowReader reader(spanner_, read_ts);
+  ASSIGN_OR_RETURN(query::CountResult counted,
+                   query::ExecuteCountQuery(reader, database_id, q, plan));
+  if (billing_ != nullptr) {
+    // Aggregations bill by index rows examined, not result size, keeping
+    // pay-as-you-go semantics for "COUNT ... may count millions of
+    // documents" (paper §VIII).
+    billing_->RecordReads(
+        database_id,
+        std::max<int64_t>(1, counted.stats.index_rows_scanned / 1000));
+  }
+  RunCountResult out;
+  out.count = counted.count;
+  out.stats = counted.stats;
+  out.read_ts = read_ts;
+  return out;
+}
+
+StatusOr<RunAggregateResult> ReadService::RunSumQuery(
+    const std::string& database_id, index::IndexCatalog& catalog,
+    const query::Query& q, const model::FieldPath& field,
+    Timestamp read_ts) {
+  if (read_ts == 0) read_ts = spanner_->StrongReadTimestamp();
+  query::Query effective = q;
+  // A filter-less query is routed onto the aggregated field's index so
+  // values decode straight from keys (documents missing the field have no
+  // entry there, matching aggregate semantics). Filtered queries keep their
+  // own plan; an inequality or order on the aggregated field also hits the
+  // key-decoding fast path naturally.
+  if (q.filters().empty() && q.order_by().empty()) {
+    effective.OrderByField(field);
+  }
+  ASSIGN_OR_RETURN(query::QueryPlan plan,
+                   query::PlanQuery(catalog, database_id, effective));
+  query::SnapshotRowReader reader(spanner_, read_ts);
+  ASSIGN_OR_RETURN(
+      query::AggregateResult agg,
+      query::ExecuteSumQuery(reader, database_id, effective, plan, field));
+  if (billing_ != nullptr) {
+    billing_->RecordReads(
+        database_id,
+        std::max<int64_t>(1, agg.stats.index_rows_scanned / 1000));
+  }
+  RunAggregateResult out;
+  out.aggregate = std::move(agg);
+  out.read_ts = read_ts;
+  return out;
+}
+
+StatusOr<query::QueryResult> ReadService::RunQueryInTransaction(
+    const std::string& database_id, index::IndexCatalog& catalog,
+    const query::Query& q, spanner::ReadWriteTransaction& txn) {
+  ASSIGN_OR_RETURN(query::QueryPlan plan,
+                   query::PlanQuery(catalog, database_id, q));
+  query::TransactionRowReader reader(&txn);
+  ASSIGN_OR_RETURN(query::QueryResult result,
+                   query::ExecuteQuery(reader, database_id, q, plan));
+  if (billing_ != nullptr) {
+    billing_->RecordReads(
+        database_id,
+        std::max<int64_t>(1,
+                          static_cast<int64_t>(result.documents.size())));
+  }
+  return result;
+}
+
+}  // namespace firestore::backend

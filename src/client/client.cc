@@ -1,0 +1,355 @@
+#include "client/client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace firestore::client {
+
+using backend::Mutation;
+using model::Document;
+using model::Map;
+using model::ResourcePath;
+
+// ---------------------------------------------------------------------------
+// ClientTransaction
+
+StatusOr<std::optional<Document>> ClientTransaction::Get(
+    const ResourcePath& name) {
+  if (!client_->network_enabled()) {
+    return UnavailableError("transactions require connectivity");
+  }
+  StatusOr<std::optional<Document>> doc =
+      client_->options_.third_party
+          ? client_->service_->GetAsUser(client_->database_id_,
+                                         client_->auth_, name)
+          : client_->service_->Get(client_->database_id_, name);
+  if (doc.ok()) {
+    read_versions_[name.CanonicalString()] =
+        doc->has_value() ? (*doc)->update_time() : 0;
+  }
+  return doc;
+}
+
+void ClientTransaction::Set(ResourcePath name, Map fields) {
+  mutations_.push_back(Mutation::Set(std::move(name), std::move(fields)));
+}
+
+void ClientTransaction::Merge(ResourcePath name, Map fields) {
+  mutations_.push_back(Mutation::Merge(std::move(name), std::move(fields)));
+}
+
+void ClientTransaction::Delete(ResourcePath name) {
+  mutations_.push_back(Mutation::Delete(std::move(name)));
+}
+
+// ---------------------------------------------------------------------------
+// FirestoreClient
+
+FirestoreClient::FirestoreClient(service::FirestoreService* service,
+                                 std::string database_id,
+                                 rules::AuthContext auth, Options options)
+    : service_(service),
+      database_id_(std::move(database_id)),
+      auth_(std::move(auth)),
+      options_(options) {
+  connection_ =
+      options_.third_party
+          ? service_->frontend().OpenConnection(database_id_, auth_)
+          : service_->frontend().OpenPrivilegedConnection(database_id_);
+}
+
+FirestoreClient::~FirestoreClient() {
+  service_->frontend().CloseConnection(connection_);
+}
+
+void FirestoreClient::SetNetworkEnabled(bool enabled) {
+  if (enabled == online_) return;
+  online_ = enabled;
+  if (online_) {
+    // Reconnection: flush queued writes, then re-attach listeners so each
+    // gets a fresh authoritative snapshot (reconciliation).
+    (void)FlushPending();
+    for (auto& [id, listener] : listeners_) {
+      AttachListener(id, listener);
+    }
+  } else {
+    for (auto& [id, listener] : listeners_) DetachListener(listener);
+  }
+}
+
+void FirestoreClient::Restart() {
+  if (options_.persist_cache) {
+    persisted_cache_ = store_.Serialize();
+  }
+  for (auto& [id, listener] : listeners_) DetachListener(listener);
+  listeners_.clear();
+  store_.Clear();
+  if (options_.persist_cache && !persisted_cache_.empty()) {
+    StatusOr<LocalStore> restored = LocalStore::Parse(persisted_cache_);
+    if (restored.ok()) {
+      store_ = std::move(restored).value();
+    } else {
+      // Corrupt on-device cache (checksum mismatch): start cold rather than
+      // trust it.
+      FS_LOG(WARNING) << "discarding corrupt persisted cache: "
+                      << restored.status();
+    }
+  }
+}
+
+Status FirestoreClient::EnqueueWrite(Mutation mutation) {
+  // Acknowledged immediately after updating the local cache (paper §IV-E);
+  // flushing happens asynchronously in Pump.
+  store_.Enqueue(std::move(mutation));
+  for (auto& [id, listener] : listeners_) DeliverView(listener);
+  return Status::Ok();
+}
+
+Status FirestoreClient::Set(const ResourcePath& name, Map fields) {
+  return EnqueueWrite(Mutation::Set(name, std::move(fields)));
+}
+
+Status FirestoreClient::Merge(const ResourcePath& name, Map fields) {
+  return EnqueueWrite(Mutation::Merge(name, std::move(fields)));
+}
+
+Status FirestoreClient::Delete(const ResourcePath& name) {
+  return EnqueueWrite(Mutation::Delete(name));
+}
+
+StatusOr<std::optional<Document>> FirestoreClient::Get(
+    const ResourcePath& name) {
+  bool known = false;
+  std::optional<Document> local = store_.OverlayDocument(name, &known);
+  if (known) return local;
+  if (!online_) {
+    return UnavailableError("document not cached and the client is offline");
+  }
+  StatusOr<std::optional<Document>> remote =
+      options_.third_party ? service_->GetAsUser(database_id_, auth_, name)
+                           : service_->Get(database_id_, name);
+  if (remote.ok()) {
+    int64_t ts = remote->has_value() ? (*remote)->update_time() : 0;
+    store_.ApplyServerDocument(name, *remote, ts);
+  }
+  return remote;
+}
+
+StatusOr<ViewSnapshot> FirestoreClient::RunQuery(const query::Query& q) {
+  if (online_) {
+    StatusOr<backend::RunQueryResult> result =
+        options_.third_party
+            ? service_->RunQueryAsUser(database_id_, auth_, q)
+            : service_->RunQuery(database_id_, q);
+    RETURN_IF_ERROR(result.status());
+    for (const Document& doc : result->result.documents) {
+      store_.ApplyServerDocument(doc.name(), doc, result->read_ts);
+    }
+    ViewSnapshot view;
+    view.snapshot_ts = result->read_ts;
+    view.from_cache = false;
+    view.has_pending_writes = store_.PendingAffects(q);
+    view.documents = view.has_pending_writes ? store_.RunLocalQuery(q)
+                                             : result->result.documents;
+    return view;
+  }
+  ViewSnapshot view;
+  view.documents = store_.RunLocalQuery(q);
+  view.from_cache = true;
+  view.has_pending_writes = store_.PendingAffects(q);
+  return view;
+}
+
+StatusOr<FirestoreClient::ListenerId> FirestoreClient::OnSnapshot(
+    query::Query q, ViewCallback callback) {
+  RETURN_IF_ERROR(q.Validate());
+  ListenerId id = next_listener_id_++;
+  Listener listener;
+  listener.query = std::move(q);
+  listener.callback = std::move(callback);
+  auto [it, inserted] = listeners_.emplace(id, std::move(listener));
+  FS_CHECK(inserted);
+  if (online_) {
+    AttachListener(id, it->second);
+    if (!it->second.attached) {
+      // Initial listen failed (e.g. permission denied): surface the error.
+      Status status = PermissionDeniedError(
+          "listen rejected; check security rules");
+      listeners_.erase(it);
+      return status;
+    }
+  } else {
+    DeliverView(it->second);  // cache-only initial view
+  }
+  return id;
+}
+
+void FirestoreClient::RemoveListener(ListenerId id) {
+  auto it = listeners_.find(id);
+  if (it == listeners_.end()) return;
+  DetachListener(it->second);
+  listeners_.erase(it);
+}
+
+void FirestoreClient::AttachListener(ListenerId id, Listener& listener) {
+  DetachListener(listener);
+  StatusOr<frontend::Frontend::TargetId> target =
+      service_->frontend().Listen(
+          connection_, listener.query,
+          [this, id](const frontend::QuerySnapshot& s) {
+            OnServerSnapshot(id, s);
+          });
+  if (!target.ok()) {
+    FS_LOG(WARNING) << "listen failed: " << target.status();
+    listener.attached = false;
+    return;
+  }
+  listener.attached = true;
+  listener.target = *target;
+}
+
+void FirestoreClient::DetachListener(Listener& listener) {
+  if (!listener.attached) return;
+  (void)service_->frontend().StopListen(connection_, listener.target);
+  listener.attached = false;
+}
+
+void FirestoreClient::OnServerSnapshot(ListenerId id,
+                                       const frontend::QuerySnapshot& s) {
+  auto it = listeners_.find(id);
+  if (it == listeners_.end()) return;
+  Listener& listener = it->second;
+  if (s.is_reset) listener.server_docs.clear();
+  for (const frontend::SnapshotChange& change : s.changes) {
+    const std::string name = change.doc.name().CanonicalString();
+    if (change.kind == frontend::ChangeKind::kRemoved) {
+      listener.server_docs.erase(name);
+      store_.ApplyServerDocument(change.doc.name(), std::nullopt,
+                                 s.snapshot_ts);
+    } else {
+      listener.server_docs[name] = change.doc;
+      store_.ApplyServerDocument(change.doc.name(), change.doc,
+                                 s.snapshot_ts);
+    }
+  }
+  listener.server_snapshot_ts = s.snapshot_ts;
+  listener.has_server_snapshot = true;
+  DeliverView(listener);
+}
+
+void FirestoreClient::DeliverView(Listener& listener) {
+  ViewSnapshot view;
+  view.snapshot_ts = listener.server_snapshot_ts;
+  view.from_cache = !listener.has_server_snapshot || !online_;
+  view.has_pending_writes = store_.PendingAffects(listener.query);
+
+  // Start from the authoritative result set, overlay pending mutations, and
+  // include locally-mutated documents that now match.
+  std::map<std::string, Document> docs = listener.server_docs;
+  for (const PendingMutation& p : store_.pending()) {
+    const std::string name = p.mutation.name.CanonicalString();
+    std::optional<Document> overlaid =
+        store_.OverlayDocument(p.mutation.name);
+    if (overlaid.has_value() && listener.query.Matches(*overlaid)) {
+      docs[name] = *overlaid;
+    } else {
+      docs.erase(name);
+    }
+  }
+  view.documents.reserve(docs.size());
+  for (auto& [name, doc] : docs) view.documents.push_back(doc);
+  std::sort(view.documents.begin(), view.documents.end(),
+            [&](const Document& a, const Document& b) {
+              return listener.query.Compare(a, b) < 0;
+            });
+  if (listener.query.limit() > 0 &&
+      static_cast<int64_t>(view.documents.size()) > listener.query.limit()) {
+    view.documents.resize(listener.query.limit());
+  }
+  listener.callback(view);
+}
+
+StatusOr<backend::CommitResponse> FirestoreClient::SendCommit(
+    const std::vector<Mutation>& mutations) {
+  if (options_.third_party) {
+    return service_->CommitAsUser(database_id_, auth_, mutations);
+  }
+  return service_->Commit(database_id_, mutations);
+}
+
+Status FirestoreClient::FlushPending() {
+  while (store_.HasPending()) {
+    const PendingMutation& next = store_.pending().front();
+    StatusOr<backend::CommitResponse> result =
+        SendCommit({next.mutation});
+    if (result.ok()) {
+      ++writes_flushed_;
+      for (const backend::DocumentChange& change : result->changes) {
+        store_.ApplyServerDocument(
+            change.name,
+            change.deleted ? std::nullopt : change.new_doc,
+            result->commit_ts);
+      }
+      store_.AckThrough(next.sequence);
+    } else if (result.status().code() == StatusCode::kAborted ||
+               result.status().code() == StatusCode::kUnavailable ||
+               result.status().code() == StatusCode::kDeadlineExceeded) {
+      // Transient: retry on a later pump.
+      return result.status();
+    } else {
+      // Permanent rejection (e.g. permission denied): drop the mutation so
+      // the queue does not wedge; local view reconciles to server state.
+      ++write_errors_;
+      FS_LOG(WARNING) << "dropping rejected write: " << result.status();
+      store_.AckThrough(next.sequence);
+      for (auto& [id, listener] : listeners_) DeliverView(listener);
+    }
+  }
+  return Status::Ok();
+}
+
+Status FirestoreClient::RunTransaction(const TransactionFn& fn,
+                                       int max_attempts) {
+  if (!online_) {
+    return UnavailableError("transactions require connectivity");
+  }
+  Status last = AbortedError("no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ClientTransaction txn(this);
+    Status body = fn(txn);
+    if (!body.ok()) return body;  // user aborted
+    // Attach freshness preconditions for every read document.
+    std::vector<Mutation> to_commit = std::move(txn.mutations_);
+    for (Mutation& m : to_commit) {
+      auto it = txn.read_versions_.find(m.name.CanonicalString());
+      if (it != txn.read_versions_.end() &&
+          m.precondition == Mutation::Precondition::kNone) {
+        m.precondition = Mutation::Precondition::kUpdateTimeEquals;
+        m.expected_update_time = it->second;
+      }
+    }
+    if (to_commit.empty()) return Status::Ok();
+    StatusOr<backend::CommitResponse> result = SendCommit(to_commit);
+    if (result.ok()) {
+      for (const backend::DocumentChange& change : result->changes) {
+        store_.ApplyServerDocument(
+            change.name, change.deleted ? std::nullopt : change.new_doc,
+            result->commit_ts);
+      }
+      return Status::Ok();
+    }
+    last = result.status();
+    if (last.code() != StatusCode::kFailedPrecondition &&
+        last.code() != StatusCode::kAborted) {
+      return last;  // not a contention failure
+    }
+  }
+  return last;
+}
+
+void FirestoreClient::Pump() {
+  if (online_) (void)FlushPending();
+}
+
+}  // namespace firestore::client

@@ -1,0 +1,39 @@
+#include "common/bytes.h"
+
+namespace firestore {
+
+std::string ToHex(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+std::string PrefixSuccessor(std::string_view prefix) {
+  std::string result(prefix);
+  while (!result.empty()) {
+    if (static_cast<unsigned char>(result.back()) != 0xff) {
+      result.back() = static_cast<char>(
+          static_cast<unsigned char>(result.back()) + 1);
+      return result;
+    }
+    result.pop_back();
+  }
+  return result;  // empty: unbounded
+}
+
+std::string KeySuccessor(std::string_view key) {
+  std::string result(key);
+  result.push_back('\0');
+  return result;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace firestore

@@ -1,0 +1,29 @@
+// Byte-string helpers shared by the codec and the storage layer.
+//
+// A "byte string" is std::string used as an opaque, bytewise-compared key,
+// matching how Spanner-style storage orders rows.
+
+#ifndef FIRESTORE_COMMON_BYTES_H_
+#define FIRESTORE_COMMON_BYTES_H_
+
+#include <string>
+#include <string_view>
+
+namespace firestore {
+
+// Hex dump, e.g. "0a1b2c".
+std::string ToHex(std::string_view bytes);
+
+// Smallest byte string strictly greater than every string with the given
+// prefix; empty result means "no upper bound" (prefix was all 0xff).
+std::string PrefixSuccessor(std::string_view prefix);
+
+// The immediate successor of a key in bytewise order (key + '\x00').
+std::string KeySuccessor(std::string_view key);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace firestore
+
+#endif  // FIRESTORE_COMMON_BYTES_H_

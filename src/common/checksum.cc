@@ -1,0 +1,58 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace firestore {
+
+namespace {
+
+// CRC32C polynomial (reflected): 0x82f63b78.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  const auto& table = Table();
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ c) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void AppendChecksum(std::string& frame) {
+  uint32_t crc = Crc32c(frame);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((crc >> (i * 8)) & 0xff));
+  }
+}
+
+bool VerifyAndStripChecksum(std::string_view* frame) {
+  if (frame->size() < 4) return false;
+  std::string_view body = frame->substr(0, frame->size() - 4);
+  uint32_t stored = 0;
+  for (int i = 3; i >= 0; --i) {
+    stored = (stored << 8) |
+             static_cast<unsigned char>((*frame)[frame->size() - 4 + i]);
+  }
+  if (Crc32c(body) != stored) return false;
+  *frame = body;
+  return true;
+}
+
+}  // namespace firestore

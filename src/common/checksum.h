@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli) checksums.
+//
+// Paper §VI: "mass-produced machines themselves are unreliable and may
+// corrupt in-memory data. We are actively addressing these issues through
+// the addition of end-to-end checksums to protect in-flight RPCs." Payloads
+// that cross component boundaries (trigger messages, persisted client
+// caches) carry one of these.
+
+#ifndef FIRESTORE_COMMON_CHECKSUM_H_
+#define FIRESTORE_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace firestore {
+
+uint32_t Crc32c(std::string_view data);
+
+// Appends a 4-byte little-endian CRC32C of everything currently in `frame`.
+void AppendChecksum(std::string& frame);
+
+// Verifies and strips a trailing checksum; false if too short or mismatched.
+bool VerifyAndStripChecksum(std::string_view* frame);
+
+}  // namespace firestore
+
+#endif  // FIRESTORE_COMMON_CHECKSUM_H_

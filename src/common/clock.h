@@ -1,0 +1,47 @@
+// Clock abstraction. Production components take a Clock* so that the
+// discrete-event simulation can drive them with virtual time.
+
+#ifndef FIRESTORE_COMMON_CLOCK_H_
+#define FIRESTORE_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace firestore {
+
+// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros NowMicros() const = 0;
+};
+
+// Wall-clock backed implementation (steady clock).
+class RealClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+// A clock that only moves when told to; the simulation kernel owns one, and
+// unit tests use it to make time-dependent behaviour deterministic.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override { return now_; }
+  void AdvanceTo(Micros t) { now_ = t; }
+  void AdvanceBy(Micros delta) { now_ += delta; }
+
+ private:
+  Micros now_;
+};
+
+}  // namespace firestore
+
+#endif  // FIRESTORE_COMMON_CLOCK_H_

@@ -1,0 +1,116 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace firestore {
+
+Histogram::Histogram() : buckets_(kSubBuckets * kRanges, 0) {}
+
+int Histogram::BucketFor(double value) {
+  if (value < 0) value = 0;
+  // Values below kSubBuckets land in the linear range [0, kSubBuckets),
+  // one bucket per unit (range index 0).
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  // Range r >= 1 covers [2^(r+5), 2^(r+6)), split into kSubBuckets linear
+  // sub-buckets, so relative error is at most 1/kSubBuckets.
+  int exponent = static_cast<int>(std::log2(value));  // >= 6 here
+  int range = std::min(exponent - 5, kRanges - 1);
+  double lo = std::pow(2.0, range + 5);
+  double width = lo / kSubBuckets;
+  int sub = std::clamp(static_cast<int>((value - lo) / width), 0,
+                       kSubBuckets - 1);
+  return kSubBuckets * range + sub;
+}
+
+double Histogram::BucketMidpoint(int bucket) {
+  if (bucket < kSubBuckets) return bucket + 0.5;
+  int range = bucket / kSubBuckets;
+  int sub = bucket % kSubBuckets;
+  double lo = std::pow(2.0, range + 5);
+  double width = lo / kSubBuckets;
+  return lo + (sub + 0.5) * width;
+}
+
+void Histogram::Record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::min() const { return min_; }
+double Histogram::max() const { return max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      double mid = BucketMidpoint(static_cast<int>(i));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Quantile(0.5)
+     << " p95=" << Quantile(0.95) << " p99=" << Quantile(0.99)
+     << " max=" << max_;
+  return os.str();
+}
+
+BoxplotStats ComputeBoxplot(std::vector<double> values) {
+  FS_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  auto at = [&](double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(values.size() - 1));
+    return values[idx];
+  };
+  return BoxplotStats{values.front(), at(0.01), at(0.25), at(0.5),
+                      at(0.75),       at(0.99), values.back()};
+}
+
+}  // namespace firestore

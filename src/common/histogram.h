@@ -1,0 +1,58 @@
+// Latency recording with percentile queries.
+//
+// Histogram uses logarithmic bucketing (HdrHistogram-style, base-2 buckets
+// with 64 linear sub-buckets) so that recording is O(1) and memory is bounded
+// regardless of sample count, with <2% relative error on percentiles.
+
+#ifndef FIRESTORE_COMMON_HISTOGRAM_H_
+#define FIRESTORE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace firestore {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  // q in [0, 1]; e.g. Quantile(0.99) is p99. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  // "count=..., mean=..., p50=..., p95=..., p99=..., max=..." summary line.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBuckets = 64;  // per power-of-two range
+  static constexpr int kRanges = 40;      // covers up to ~2^40
+
+  static int BucketFor(double value);
+  static double BucketMidpoint(int bucket);
+
+  std::vector<uint32_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Boxplot-style summary used by the Fig. 6 harness: values normalized to the
+// median, reported at several quantiles.
+struct BoxplotStats {
+  double min, p1, p25, p50, p75, p99, max;
+};
+
+BoxplotStats ComputeBoxplot(std::vector<double> values);
+
+}  // namespace firestore
+
+#endif  // FIRESTORE_COMMON_HISTOGRAM_H_

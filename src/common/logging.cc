@@ -1,0 +1,20 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace firestore {
+namespace internal_logging {
+namespace {
+
+std::atomic<LogSeverity> g_min_level{LogSeverity::kWarning};
+
+}  // namespace
+
+LogSeverity MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void SetMinLogLevel(LogSeverity severity) {
+  g_min_level.store(severity, std::memory_order_relaxed);
+}
+
+}  // namespace internal_logging
+}  // namespace firestore

@@ -1,0 +1,88 @@
+// Minimal stream-style logging and CHECK macros.
+
+#ifndef FIRESTORE_COMMON_LOGGING_H_
+#define FIRESTORE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace firestore {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Global minimum severity; messages below it are dropped. Defaults to
+// kWarning so tests and benches stay quiet.
+LogSeverity MinLogLevel();
+void SetMinLogLevel(LogSeverity severity);
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+
+  ~LogMessage() {
+    if (severity_ >= MinLogLevel() || severity_ == LogSeverity::kFatal) {
+      static const char* const kNames[] = {"I", "W", "E", "F"};
+      std::cerr << kNames[static_cast<int>(severity_)] << " " << file_ << ":"
+                << line_ << "] " << stream_.str() << std::endl;
+    }
+    if (severity_ == LogSeverity::kFatal) std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace firestore
+
+#define FS_LOG_INFO                                             \
+  ::firestore::internal_logging::LogMessage(                    \
+      ::firestore::internal_logging::LogSeverity::kInfo,        \
+      __FILE__, __LINE__)                                       \
+      .stream()
+#define FS_LOG_WARNING                                          \
+  ::firestore::internal_logging::LogMessage(                    \
+      ::firestore::internal_logging::LogSeverity::kWarning,     \
+      __FILE__, __LINE__)                                       \
+      .stream()
+#define FS_LOG_ERROR                                            \
+  ::firestore::internal_logging::LogMessage(                    \
+      ::firestore::internal_logging::LogSeverity::kError,       \
+      __FILE__, __LINE__)                                       \
+      .stream()
+#define FS_LOG_FATAL                                            \
+  ::firestore::internal_logging::LogMessage(                    \
+      ::firestore::internal_logging::LogSeverity::kFatal,       \
+      __FILE__, __LINE__)                                       \
+      .stream()
+
+#define FS_LOG(severity) FS_LOG_##severity
+
+// CHECK aborts the process when the condition does not hold. These guard
+// internal invariants, not user input (user input yields Status errors).
+#define FS_CHECK(cond) \
+  if (!(cond)) FS_LOG(FATAL) << "Check failed: " #cond " "
+
+#define FS_CHECK_EQ(a, b) FS_CHECK((a) == (b))
+#define FS_CHECK_NE(a, b) FS_CHECK((a) != (b))
+#define FS_CHECK_LT(a, b) FS_CHECK((a) < (b))
+#define FS_CHECK_LE(a, b) FS_CHECK((a) <= (b))
+#define FS_CHECK_GT(a, b) FS_CHECK((a) > (b))
+#define FS_CHECK_GE(a, b) FS_CHECK((a) >= (b))
+
+#define FS_CHECK_OK(expr)                                    \
+  do {                                                       \
+    ::firestore::Status _st = (expr);                        \
+    if (!_st.ok()) FS_LOG(FATAL) << "Status not OK: " << _st; \
+  } while (0)
+
+#endif  // FIRESTORE_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace firestore {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  FS_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+uint64_t Rng::NextUint64() { return engine_(); }
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  std::lognormal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+std::string Rng::AlphaNumString(size_t n) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string result;
+  result.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.push_back(kChars[Uniform(0, sizeof(kChars) - 2)]);
+  }
+  return result;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  FS_CHECK_GT(n, 0u);
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // Exact for small n; for large n uses the integral approximation, which is
+  // standard practice in YCSB-style generators and accurate to within ~1%.
+  if (n <= 10000) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+  double sum = Zeta(10000, theta);
+  // Integral of x^-theta from 10000 to n.
+  sum += (std::pow(static_cast<double>(n), 1 - theta) -
+          std::pow(10000.0, 1 - theta)) /
+         (1 - theta);
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next(Rng& rng) {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(static_cast<double>(n_) *
+                               std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace firestore

@@ -1,0 +1,94 @@
+#include "common/status.h"
+
+namespace firestore {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kUnknown:
+      return "UNKNOWN";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "INVALID_CODE";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+Status CancelledError(std::string_view msg) {
+  return Status(StatusCode::kCancelled, std::string(msg));
+}
+Status UnknownError(std::string_view msg) {
+  return Status(StatusCode::kUnknown, std::string(msg));
+}
+Status InvalidArgumentError(std::string_view msg) {
+  return Status(StatusCode::kInvalidArgument, std::string(msg));
+}
+Status DeadlineExceededError(std::string_view msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::string(msg));
+}
+Status NotFoundError(std::string_view msg) {
+  return Status(StatusCode::kNotFound, std::string(msg));
+}
+Status AlreadyExistsError(std::string_view msg) {
+  return Status(StatusCode::kAlreadyExists, std::string(msg));
+}
+Status PermissionDeniedError(std::string_view msg) {
+  return Status(StatusCode::kPermissionDenied, std::string(msg));
+}
+Status ResourceExhaustedError(std::string_view msg) {
+  return Status(StatusCode::kResourceExhausted, std::string(msg));
+}
+Status FailedPreconditionError(std::string_view msg) {
+  return Status(StatusCode::kFailedPrecondition, std::string(msg));
+}
+Status AbortedError(std::string_view msg) {
+  return Status(StatusCode::kAborted, std::string(msg));
+}
+Status OutOfRangeError(std::string_view msg) {
+  return Status(StatusCode::kOutOfRange, std::string(msg));
+}
+Status UnimplementedError(std::string_view msg) {
+  return Status(StatusCode::kUnimplemented, std::string(msg));
+}
+Status InternalError(std::string_view msg) {
+  return Status(StatusCode::kInternal, std::string(msg));
+}
+Status UnavailableError(std::string_view msg) {
+  return Status(StatusCode::kUnavailable, std::string(msg));
+}
+
+}  // namespace firestore

@@ -1,0 +1,147 @@
+// Error handling primitives (exceptions are not used in this codebase).
+//
+// Status carries an error code plus a human-readable message; StatusOr<T>
+// carries either a value or a non-OK Status. Modeled on absl::Status.
+
+#ifndef FIRESTORE_COMMON_STATUS_H_
+#define FIRESTORE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace firestore {
+
+enum class StatusCode {
+  kOk = 0,
+  kCancelled = 1,
+  kUnknown = 2,
+  kInvalidArgument = 3,
+  kDeadlineExceeded = 4,
+  kNotFound = 5,
+  kAlreadyExists = 6,
+  kPermissionDenied = 7,
+  kResourceExhausted = 8,
+  kFailedPrecondition = 9,
+  kAborted = 10,
+  kOutOfRange = 11,
+  kUnimplemented = 12,
+  kInternal = 13,
+  kUnavailable = 14,
+};
+
+std::string_view StatusCodeToString(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, mirroring absl::*Error().
+Status CancelledError(std::string_view msg);
+Status UnknownError(std::string_view msg);
+Status InvalidArgumentError(std::string_view msg);
+Status DeadlineExceededError(std::string_view msg);
+Status NotFoundError(std::string_view msg);
+Status AlreadyExistsError(std::string_view msg);
+Status PermissionDeniedError(std::string_view msg);
+Status ResourceExhaustedError(std::string_view msg);
+Status FailedPreconditionError(std::string_view msg);
+Status AbortedError(std::string_view msg);
+Status OutOfRangeError(std::string_view msg);
+Status UnimplementedError(std::string_view msg);
+Status InternalError(std::string_view msg);
+Status UnavailableError(std::string_view msg);
+
+// A value-or-error holder. Accessing value() on a non-OK StatusOr aborts the
+// process; callers must check ok() first (or use RETURN_IF_ERROR /
+// ASSIGN_OR_RETURN below).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(const T& value) : rep_(value) {}                  // NOLINT
+  StatusOr(T&& value) : rep_(std::move(value)) {}            // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {        // NOLINT
+    if (std::get<Status>(rep_).ok()) std::abort();  // OK status is not a value.
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::abort();
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace firestore
+
+// Propagates a non-OK Status from an expression that yields Status.
+#define RETURN_IF_ERROR(expr)                       \
+  do {                                              \
+    ::firestore::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define FS_STATUS_CONCAT_INNER(a, b) a##b
+#define FS_STATUS_CONCAT(a, b) FS_STATUS_CONCAT_INNER(a, b)
+
+// ASSIGN_OR_RETURN(lhs, expr): evaluates expr (a StatusOr<T>), returns its
+// status on error, otherwise assigns the value to lhs.
+#define ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto FS_STATUS_CONCAT(_statusor_, __LINE__) = (expr);        \
+  if (!FS_STATUS_CONCAT(_statusor_, __LINE__).ok())            \
+    return FS_STATUS_CONCAT(_statusor_, __LINE__).status();    \
+  lhs = std::move(FS_STATUS_CONCAT(_statusor_, __LINE__)).value()
+
+#endif  // FIRESTORE_COMMON_STATUS_H_

@@ -1,0 +1,141 @@
+#include "firestore/codec/ordered_code.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace firestore::codec {
+
+namespace {
+
+void AppendBigEndian64(std::string& dst, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+bool ParseBigEndian64(std::string_view* src, uint64_t* out) {
+  if (src->size() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>((*src)[i]);
+  }
+  src->remove_prefix(8);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void AppendBytes(std::string& dst, std::string_view value) {
+  // 0x00 is escaped as {0x00, 0xff}; the terminator is {0x00, 0x01}. Inside
+  // an encoding, 0x00 is therefore always followed by 0xff or 0x01, which
+  // keeps the encoding unambiguous no matter what bytes follow it.
+  for (char c : value) {
+    if (c == '\0') {
+      dst.push_back('\0');
+      dst.push_back('\xff');
+    } else {
+      dst.push_back(c);
+    }
+  }
+  dst.push_back('\0');
+  dst.push_back('\x01');
+}
+
+bool ParseBytes(std::string_view* src, std::string* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < src->size()) {
+    char c = (*src)[i];
+    if (c == '\0') {
+      if (i + 1 >= src->size()) return false;
+      char next = (*src)[i + 1];
+      if (next == '\xff') {
+        out->push_back('\0');
+        i += 2;
+        continue;
+      }
+      if (next == '\x01') {
+        src->remove_prefix(i + 2);
+        return true;
+      }
+      return false;  // malformed escape
+    }
+    out->push_back(c);
+    ++i;
+  }
+  return false;  // unterminated
+}
+
+void AppendInt64(std::string& dst, int64_t value) {
+  AppendBigEndian64(dst, static_cast<uint64_t>(value) ^ (1ull << 63));
+}
+
+bool ParseInt64(std::string_view* src, int64_t* out) {
+  uint64_t v;
+  if (!ParseBigEndian64(src, &v)) return false;
+  *out = static_cast<int64_t>(v ^ (1ull << 63));
+  return true;
+}
+
+void AppendDouble(std::string& dst, double value) {
+  uint64_t bits;
+  if (std::isnan(value)) {
+    bits = 0;  // canonical NaN: smallest numeric encoding
+  } else {
+    uint64_t raw = std::bit_cast<uint64_t>(value);
+    if (raw & (1ull << 63)) {
+      bits = ~raw;
+    } else {
+      bits = raw | (1ull << 63);
+    }
+    // Avoid colliding with the NaN slot: the smallest real encoding is
+    // ~(negative NaN payload) which is > 0, so 0 stays reserved for NaN.
+  }
+  AppendBigEndian64(dst, bits);
+}
+
+bool ParseDouble(std::string_view* src, double* out) {
+  uint64_t bits;
+  if (!ParseBigEndian64(src, &bits)) return false;
+  if (bits == 0) {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  uint64_t raw;
+  if (bits & (1ull << 63)) {
+    raw = bits & ~(1ull << 63);
+  } else {
+    raw = ~bits;
+  }
+  *out = std::bit_cast<double>(raw);
+  return true;
+}
+
+void AppendInt32(std::string& dst, int32_t value) {
+  uint32_t biased = static_cast<uint32_t>(value) ^ (1u << 31);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    dst.push_back(static_cast<char>((biased >> shift) & 0xff));
+  }
+}
+
+bool ParseInt32(std::string_view* src, int32_t* out) {
+  if (src->size() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>((*src)[i]);
+  }
+  src->remove_prefix(4);
+  *out = static_cast<int32_t>(v ^ (1u << 31));
+  return true;
+}
+
+void InvertBytes(std::string& s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    s[i] = static_cast<char>(~static_cast<unsigned char>(s[i]));
+  }
+}
+
+}  // namespace firestore::codec

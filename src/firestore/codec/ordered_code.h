@@ -1,0 +1,54 @@
+// Low-level order-preserving encoding primitives.
+//
+// These build the keys of the Spanner IndexEntries table (paper §IV-D1): the
+// byte-string encoding of an n-tuple of values must compare bytewise in the
+// tuple's logical order, so that "a linear scan of a range of IndexEntries
+// rows corresponds to a linear scan of a range of the logical Firestore
+// index".
+//
+// Every primitive produces a *prefix-free* encoding so components can be
+// concatenated: no encoding is a strict prefix of a different value's
+// encoding within the same component type.
+
+#ifndef FIRESTORE_CODEC_ORDERED_CODE_H_
+#define FIRESTORE_CODEC_ORDERED_CODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace firestore::codec {
+
+// -- Appending (ascending order) --
+
+// Byte strings: 0x00 is escaped as {0x00, 0xff}; terminated by {0x00, 0x01}.
+void AppendBytes(std::string& dst, std::string_view value);
+
+// Fixed 8-byte big-endian with the sign bit flipped.
+void AppendInt64(std::string& dst, int64_t value);
+
+// IEEE-754 total-order transform: negative values are bit-inverted, positive
+// values get the sign bit set. NaN is canonicalized to sort before every
+// other double.
+void AppendDouble(std::string& dst, double value);
+
+// Fixed 4-byte big-endian, biased (for small signed residuals).
+void AppendInt32(std::string& dst, int32_t value);
+
+// -- Parsing --
+// Each Parse* consumes its encoding from the front of *src and stores the
+// value in *out; returns false on malformed input.
+
+bool ParseBytes(std::string_view* src, std::string* out);
+bool ParseInt64(std::string_view* src, int64_t* out);
+bool ParseDouble(std::string_view* src, double* out);
+bool ParseInt32(std::string_view* src, int32_t* out);
+
+// -- Descending order --
+// A component is encoded descending by appending its ascending encoding and
+// then bit-inverting those bytes. Invert is its own inverse.
+void InvertBytes(std::string& s, size_t from);
+
+}  // namespace firestore::codec
+
+#endif  // FIRESTORE_CODEC_ORDERED_CODE_H_

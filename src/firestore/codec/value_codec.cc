@@ -1,0 +1,252 @@
+#include "firestore/codec/value_codec.h"
+
+#include <cmath>
+#include <limits>
+
+#include "firestore/codec/ordered_code.h"
+
+namespace firestore::codec {
+
+using model::Array;
+using model::Map;
+using model::ResourcePath;
+using model::Value;
+using model::ValueType;
+
+namespace {
+
+// Type tags, assigned in Firestore's cross-type sort order. All tags are
+// >= 0x05 so the container terminator (0x00) and entry marker (0x01) never
+// collide with the start of a nested value.
+constexpr char kTagNull = '\x05';
+constexpr char kTagFalse = '\x0a';
+constexpr char kTagTrue = '\x0b';
+constexpr char kTagNumber = '\x10';
+constexpr char kTagTimestamp = '\x15';
+constexpr char kTagString = '\x1a';
+constexpr char kTagBytes = '\x1f';
+constexpr char kTagReference = '\x24';
+constexpr char kTagArray = '\x29';
+constexpr char kTagMap = '\x2e';
+
+constexpr char kContainerEnd = '\x00';
+constexpr char kEntryMarker = '\x01';
+
+// Numbers are encoded as (ordered double, ordered int32 residual). The
+// double is the value rounded to nearest; the residual recovers int64s that
+// a double cannot represent exactly. Lexicographic (double, residual) order
+// equals exact numeric order because int64->double conversion is monotonic
+// and every non-integral double lies below 2^53 where the conversion is
+// exact (see tests).
+void AppendNumber(std::string& dst, const Value& v) {
+  if (v.is_integer()) {
+    int64_t i = v.integer_value();
+    double d = static_cast<double>(i);
+    auto residual = static_cast<int32_t>(static_cast<long double>(i) -
+                                         static_cast<long double>(d));
+    AppendDouble(dst, d);
+    AppendInt32(dst, residual);
+  } else {
+    double d = v.double_value();
+    if (d == 0.0) d = 0.0;  // canonicalize -0.0 to +0.0
+    AppendDouble(dst, d);
+    AppendInt32(dst, 0);
+  }
+}
+
+bool ParseNumber(std::string_view* src, Value* out) {
+  double d;
+  int32_t residual;
+  if (!ParseDouble(src, &d) || !ParseInt32(src, &residual)) return false;
+  if (std::isnan(d)) {
+    *out = Value::Double(d);
+    return true;
+  }
+  if (residual != 0) {
+    *out = Value::Integer(static_cast<int64_t>(static_cast<long double>(d) +
+                                               residual));
+    return true;
+  }
+  // Canonical decode: an exactly-representable integer decodes as Integer.
+  constexpr double kInt64Min = -9223372036854775808.0;  // -2^63
+  constexpr double kInt64Bound = 9223372036854775808.0;  // 2^63
+  if (d >= kInt64Min && d < kInt64Bound && d == std::trunc(d)) {
+    *out = Value::Integer(static_cast<int64_t>(d));
+  } else {
+    *out = Value::Double(d);
+  }
+  return true;
+}
+
+}  // namespace
+
+void AppendValueAsc(std::string& dst, const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      dst.push_back(kTagNull);
+      return;
+    case ValueType::kBoolean:
+      dst.push_back(value.boolean_value() ? kTagTrue : kTagFalse);
+      return;
+    case ValueType::kNumber:
+      dst.push_back(kTagNumber);
+      AppendNumber(dst, value);
+      return;
+    case ValueType::kTimestamp:
+      dst.push_back(kTagTimestamp);
+      AppendInt64(dst, value.timestamp_value());
+      return;
+    case ValueType::kString:
+      dst.push_back(kTagString);
+      AppendBytes(dst, value.string_value());
+      return;
+    case ValueType::kBytes:
+      dst.push_back(kTagBytes);
+      AppendBytes(dst, value.bytes_value());
+      return;
+    case ValueType::kReference:
+      dst.push_back(kTagReference);
+      AppendBytes(dst, value.reference_value());
+      return;
+    case ValueType::kArray:
+      dst.push_back(kTagArray);
+      for (const Value& v : value.array_value()) {
+        AppendValueAsc(dst, v);
+      }
+      dst.push_back(kContainerEnd);
+      return;
+    case ValueType::kMap:
+      dst.push_back(kTagMap);
+      for (const auto& [k, v] : value.map_value()) {
+        dst.push_back(kEntryMarker);
+        AppendBytes(dst, k);
+        AppendValueAsc(dst, v);
+      }
+      dst.push_back(kContainerEnd);
+      return;
+  }
+}
+
+void AppendValueDesc(std::string& dst, const Value& value) {
+  size_t start = dst.size();
+  AppendValueAsc(dst, value);
+  InvertBytes(dst, start);
+}
+
+bool ParseValueAsc(std::string_view* src, Value* out) {
+  if (src->empty()) return false;
+  char tag = src->front();
+  src->remove_prefix(1);
+  switch (tag) {
+    case kTagNull:
+      *out = Value::Null();
+      return true;
+    case kTagFalse:
+      *out = Value::Boolean(false);
+      return true;
+    case kTagTrue:
+      *out = Value::Boolean(true);
+      return true;
+    case kTagNumber:
+      return ParseNumber(src, out);
+    case kTagTimestamp: {
+      int64_t t;
+      if (!ParseInt64(src, &t)) return false;
+      *out = Value::Timestamp(t);
+      return true;
+    }
+    case kTagString: {
+      std::string s;
+      if (!ParseBytes(src, &s)) return false;
+      *out = Value::String(std::move(s));
+      return true;
+    }
+    case kTagBytes: {
+      std::string s;
+      if (!ParseBytes(src, &s)) return false;
+      *out = Value::Bytes(std::move(s));
+      return true;
+    }
+    case kTagReference: {
+      std::string s;
+      if (!ParseBytes(src, &s)) return false;
+      *out = Value::Reference(std::move(s));
+      return true;
+    }
+    case kTagArray: {
+      Array elements;
+      while (true) {
+        if (src->empty()) return false;
+        if (src->front() == kContainerEnd) {
+          src->remove_prefix(1);
+          break;
+        }
+        Value v;
+        if (!ParseValueAsc(src, &v)) return false;
+        elements.push_back(std::move(v));
+      }
+      *out = Value::FromArray(std::move(elements));
+      return true;
+    }
+    case kTagMap: {
+      Map entries;
+      while (true) {
+        if (src->empty()) return false;
+        char c = src->front();
+        src->remove_prefix(1);
+        if (c == kContainerEnd) break;
+        if (c != kEntryMarker) return false;
+        std::string key;
+        Value v;
+        if (!ParseBytes(src, &key) || !ParseValueAsc(src, &v)) return false;
+        entries.emplace(std::move(key), std::move(v));
+      }
+      *out = Value::FromMap(std::move(entries));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool ParseValueDesc(std::string_view* src, Value* out) {
+  // Invert a bounded copy, parse ascending, then consume the same length.
+  std::string inverted(*src);
+  InvertBytes(inverted, 0);
+  std::string_view view = inverted;
+  if (!ParseValueAsc(&view, out)) return false;
+  src->remove_prefix(inverted.size() - view.size());
+  return true;
+}
+
+void AppendResourcePath(std::string& dst, const ResourcePath& path) {
+  for (const std::string& segment : path.segments()) {
+    AppendBytes(dst, segment);
+  }
+}
+
+bool ParseResourcePath(std::string_view* src, ResourcePath* out) {
+  std::vector<std::string> segments;
+  while (!src->empty()) {
+    std::string segment;
+    if (!ParseBytes(src, &segment)) return false;
+    segments.push_back(std::move(segment));
+  }
+  if (segments.empty()) return false;
+  *out = ResourcePath(std::move(segments));
+  return true;
+}
+
+std::string EncodeValueAsc(const Value& value) {
+  std::string result;
+  AppendValueAsc(result, value);
+  return result;
+}
+
+std::string EncodeResourcePath(const ResourcePath& path) {
+  std::string result;
+  AppendResourcePath(result, path);
+  return result;
+}
+
+}  // namespace firestore::codec

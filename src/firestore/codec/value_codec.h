@@ -1,0 +1,49 @@
+// Order-preserving encoding of Firestore values and document names.
+//
+// Guarantee: for values a, b — Encode(a) compares bytewise exactly as
+// Value::Compare(a, b). This is invariant (1) in DESIGN.md and is what makes
+// IndexEntries range scans equivalent to logical index scans.
+//
+// Numbers are encoded *canonically*: Integer(3) and Double(3.0) produce the
+// same bytes (they are equal under Firestore's cross-type ordering, and an
+// equality scan for 3 must match both). Decoding a number yields Integer when
+// the value is exactly an int64, else Double. The exact document contents
+// (with int/double distinction) live in the Entities row, not the index key.
+
+#ifndef FIRESTORE_CODEC_VALUE_CODEC_H_
+#define FIRESTORE_CODEC_VALUE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "firestore/model/path.h"
+#include "firestore/model/value.h"
+
+namespace firestore::codec {
+
+// Appends the ascending order-preserving encoding of `value`.
+void AppendValueAsc(std::string& dst, const model::Value& value);
+
+// Appends the descending encoding (ascending bytes, bit-inverted).
+void AppendValueDesc(std::string& dst, const model::Value& value);
+
+// Parses one ascending-encoded value from the front of *src.
+bool ParseValueAsc(std::string_view* src, model::Value* out);
+
+// Parses one descending-encoded value (un-inverts a copy, then parses).
+bool ParseValueDesc(std::string_view* src, model::Value* out);
+
+// Document names encode segment-by-segment so that the bytewise order equals
+// ResourcePath::Compare order (a parent collection's documents sort within
+// the parent's key range).
+void AppendResourcePath(std::string& dst, const model::ResourcePath& path);
+bool ParseResourcePath(std::string_view* src, model::ResourcePath* out);
+
+// Convenience: full encodings as standalone strings.
+std::string EncodeValueAsc(const model::Value& value);
+std::string EncodeResourcePath(const model::ResourcePath& path);
+
+}  // namespace firestore::codec
+
+#endif  // FIRESTORE_CODEC_VALUE_CODEC_H_

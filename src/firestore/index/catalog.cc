@@ -1,0 +1,179 @@
+#include "firestore/index/catalog.h"
+
+#include <sstream>
+
+namespace firestore::index {
+
+std::string IndexDefinition::DebugString() const {
+  std::ostringstream os;
+  os << "index#" << index_id << " on " << collection_id << " (";
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << segments[i].field.CanonicalString();
+    switch (segments[i].kind) {
+      case SegmentKind::kAscending:
+        os << " asc";
+        break;
+      case SegmentKind::kDescending:
+        os << " desc";
+        break;
+      case SegmentKind::kArrayContains:
+        os << " array-contains";
+        break;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+void IndexCatalog::AddExemption(const std::string& collection_id,
+                                const model::FieldPath& field) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exemptions_.emplace(collection_id, field.CanonicalString());
+}
+
+bool IndexCatalog::IsExempted(const std::string& collection_id,
+                              const model::FieldPath& field) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exemptions_.count({collection_id, field.CanonicalString()}) != 0;
+}
+
+IndexId IndexCatalog::NextIdLocked() { return next_id_++; }
+
+std::optional<IndexDefinition> IndexCatalog::AutoIndex(
+    const std::string& collection_id, const model::FieldPath& field,
+    SegmentKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (exemptions_.count({collection_id, field.CanonicalString()}) != 0) {
+    return std::nullopt;
+  }
+  auto key = std::make_tuple(collection_id, field.CanonicalString(), kind);
+  auto it = auto_ids_.find(key);
+  if (it != auto_ids_.end()) return indexes_.at(it->second);
+  IndexDefinition def;
+  def.index_id = NextIdLocked();
+  def.collection_id = collection_id;
+  def.segments = {IndexSegment{field, kind}};
+  def.state = IndexState::kActive;  // auto indexes are active from birth
+  def.automatic = true;
+  auto_ids_.emplace(key, def.index_id);
+  indexes_.emplace(def.index_id, def);
+  return def;
+}
+
+StatusOr<IndexId> IndexCatalog::AddCompositeIndex(
+    const std::string& collection_id, std::vector<IndexSegment> segments,
+    IndexState initial_state) {
+  if (segments.empty()) {
+    return InvalidArgumentError("composite index needs at least one field");
+  }
+  for (const IndexSegment& s : segments) {
+    if (s.kind == SegmentKind::kArrayContains && segments.size() > 1) {
+      // Mirrors Firestore: at most one array-contains segment, and we keep
+      // it to automatic single-field indexes only.
+      return InvalidArgumentError(
+          "array-contains is only supported in single-field indexes");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Reject exact duplicates.
+  for (const auto& [id, def] : indexes_) {
+    if (def.collection_id == collection_id && def.segments == segments &&
+        def.state != IndexState::kRemoving) {
+      return AlreadyExistsError("identical index already exists: " +
+                                def.DebugString());
+    }
+  }
+  IndexDefinition def;
+  def.index_id = NextIdLocked();
+  def.collection_id = collection_id;
+  def.segments = std::move(segments);
+  def.state = initial_state;
+  def.automatic = false;
+  IndexId id = def.index_id;
+  indexes_.emplace(id, std::move(def));
+  return id;
+}
+
+Status IndexCatalog::SetIndexState(IndexId index_id, IndexState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(index_id);
+  if (it == indexes_.end()) return NotFoundError("no such index");
+  it->second.state = state;
+  return Status::Ok();
+}
+
+Status IndexCatalog::RemoveIndex(IndexId index_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(index_id);
+  if (it == indexes_.end()) return NotFoundError("no such index");
+  // Drop any auto-id mapping pointing at it.
+  for (auto ait = auto_ids_.begin(); ait != auto_ids_.end(); ++ait) {
+    if (ait->second == index_id) {
+      auto_ids_.erase(ait);
+      break;
+    }
+  }
+  indexes_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<IndexDefinition> IndexCatalog::GetIndex(IndexId index_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(index_id);
+  if (it == indexes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<IndexDefinition> IndexCatalog::ActiveIndexes(
+    const std::string& collection_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexDefinition> result;
+  for (const auto& [id, def] : indexes_) {
+    if (def.collection_id != collection_id ||
+        def.state != IndexState::kActive) {
+      continue;
+    }
+    // An automatic index on a newly-exempted field stops serving queries
+    // immediately, even before its entries are backremoved.
+    if (def.automatic &&
+        exemptions_.count({collection_id,
+                           def.segments[0].field.CanonicalString()}) != 0) {
+      continue;
+    }
+    result.push_back(def);
+  }
+  return result;
+}
+
+std::vector<IndexDefinition> IndexCatalog::MaintainedIndexes(
+    const std::string& collection_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexDefinition> result;
+  for (const auto& [id, def] : indexes_) {
+    if (def.collection_id == collection_id) result.push_back(def);
+  }
+  return result;
+}
+
+std::vector<IndexId> IndexCatalog::ExistingAutoIndexIds(
+    const std::string& collection_id, const model::FieldPath& field) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexId> ids;
+  for (SegmentKind kind : {SegmentKind::kAscending, SegmentKind::kDescending,
+                           SegmentKind::kArrayContains}) {
+    auto it = auto_ids_.find(
+        std::make_tuple(collection_id, field.CanonicalString(), kind));
+    if (it != auto_ids_.end()) ids.push_back(it->second);
+  }
+  return ids;
+}
+
+std::vector<IndexDefinition> IndexCatalog::AllIndexes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexDefinition> result;
+  for (const auto& [id, def] : indexes_) result.push_back(def);
+  return result;
+}
+
+}  // namespace firestore::index

@@ -1,0 +1,96 @@
+// Per-database index catalog.
+//
+// Firestore "automatically defines an ascending and descending index on each
+// field across all documents" plus an array-contains index, and lets the
+// customer exempt fields from automatic indexing and define composite
+// indexes (paper §III-B). Automatic definitions are materialized lazily: the
+// first write or query touching a (collection, field, kind) combination
+// allocates its stable index id.
+
+#ifndef FIRESTORE_INDEX_CATALOG_H_
+#define FIRESTORE_INDEX_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "firestore/index/index_definition.h"
+
+namespace firestore::index {
+
+class IndexCatalog {
+ public:
+  IndexCatalog() = default;
+
+  IndexCatalog(const IndexCatalog&) = delete;
+  IndexCatalog& operator=(const IndexCatalog&) = delete;
+
+  // -- Automatic indexing --
+
+  // Excludes a field from automatic indexing (queries needing it then fail,
+  // and writes stop producing its entries). Existing entries are removed by
+  // the backfill service (paper §IV-D1), which calls this after scheduling.
+  void AddExemption(const std::string& collection_id,
+                    const model::FieldPath& field);
+  bool IsExempted(const std::string& collection_id,
+                  const model::FieldPath& field) const;
+
+  // The automatic index for (collection, field, kind); creates its
+  // definition on first use. Exempted fields return nullopt.
+  std::optional<IndexDefinition> AutoIndex(const std::string& collection_id,
+                                           const model::FieldPath& field,
+                                           SegmentKind kind);
+
+  // -- Composite (user-defined) indexes --
+
+  // Registers a composite index in the given initial state; returns its id.
+  // The index becomes queryable once SetIndexState(kActive) is called (the
+  // backfill service does this when the backfill completes).
+  StatusOr<IndexId> AddCompositeIndex(const std::string& collection_id,
+                                      std::vector<IndexSegment> segments,
+                                      IndexState initial_state);
+
+  Status SetIndexState(IndexId index_id, IndexState state);
+  Status RemoveIndex(IndexId index_id);
+
+  // -- Lookup --
+
+  std::optional<IndexDefinition> GetIndex(IndexId index_id) const;
+
+  // Every ACTIVE index (automatic already materialized + composite) for a
+  // collection id; the planner's candidate set.
+  std::vector<IndexDefinition> ActiveIndexes(
+      const std::string& collection_id) const;
+
+  // Every index that writes must maintain (active, backfilling or removing).
+  std::vector<IndexDefinition> MaintainedIndexes(
+      const std::string& collection_id) const;
+
+  // All definitions (for tests / admin).
+  std::vector<IndexDefinition> AllIndexes() const;
+
+  // Ids of the already-materialized automatic indexes of one field (asc,
+  // desc, array-contains — whichever exist). Used when exempting a field.
+  std::vector<IndexId> ExistingAutoIndexIds(
+      const std::string& collection_id, const model::FieldPath& field) const;
+
+ private:
+  IndexId NextIdLocked();
+
+  mutable std::mutex mu_;
+  IndexId next_id_ = 1;
+  std::map<IndexId, IndexDefinition> indexes_;
+  // (collection, field canonical, kind) -> id for automatic indexes.
+  std::map<std::tuple<std::string, std::string, SegmentKind>, IndexId>
+      auto_ids_;
+  std::set<std::pair<std::string, std::string>> exemptions_;
+};
+
+}  // namespace firestore::index
+
+#endif  // FIRESTORE_INDEX_CATALOG_H_

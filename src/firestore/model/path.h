@@ -1,0 +1,94 @@
+// Resource paths ("/restaurants/one/ratings/2") and field paths ("a.b.c").
+//
+// A resource path alternates collection id / document id segments. An even
+// number of segments names a document; an odd number names a collection
+// (paper §III-A).
+
+#ifndef FIRESTORE_MODEL_PATH_H_
+#define FIRESTORE_MODEL_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace firestore::model {
+
+class ResourcePath {
+ public:
+  ResourcePath() = default;
+  explicit ResourcePath(std::vector<std::string> segments)
+      : segments_(std::move(segments)) {}
+
+  // Parses "/restaurants/one" or "restaurants/one". Empty segments are
+  // invalid.
+  static StatusOr<ResourcePath> Parse(std::string_view path);
+
+  const std::vector<std::string>& segments() const { return segments_; }
+  size_t size() const { return segments_.size(); }
+  bool empty() const { return segments_.empty(); }
+
+  bool IsDocumentPath() const { return !empty() && size() % 2 == 0; }
+  bool IsCollectionPath() const { return size() % 2 == 1; }
+
+  // Last segment (the identifying string of a document, or the collection
+  // id).
+  const std::string& last_segment() const { return segments_.back(); }
+
+  // For a document path: the collection that directly contains it.
+  ResourcePath Parent() const;
+
+  // Append one segment.
+  ResourcePath Child(std::string_view segment) const;
+
+  // True if this path is a (strict or equal) prefix of `other`.
+  bool IsPrefixOf(const ResourcePath& other) const;
+
+  // Canonical string form with a leading '/'.
+  std::string CanonicalString() const;
+
+  int Compare(const ResourcePath& other) const;
+  bool operator==(const ResourcePath& other) const {
+    return segments_ == other.segments_;
+  }
+  bool operator<(const ResourcePath& other) const {
+    return Compare(other) < 0;
+  }
+
+ private:
+  std::vector<std::string> segments_;
+};
+
+// A dotted path addressing a (possibly nested) field inside a document.
+class FieldPath {
+ public:
+  FieldPath() = default;
+  explicit FieldPath(std::vector<std::string> segments)
+      : segments_(std::move(segments)) {}
+
+  // Parses "a.b.c"; empty segments are invalid.
+  static StatusOr<FieldPath> Parse(std::string_view path);
+  // Single-segment field path without parsing (no dots allowed).
+  static FieldPath Single(std::string name);
+
+  const std::vector<std::string>& segments() const { return segments_; }
+  size_t size() const { return segments_.size(); }
+  bool empty() const { return segments_.empty(); }
+
+  std::string CanonicalString() const;
+
+  bool operator==(const FieldPath& other) const {
+    return segments_ == other.segments_;
+  }
+  bool operator<(const FieldPath& other) const {
+    return segments_ < other.segments_;
+  }
+
+ private:
+  std::vector<std::string> segments_;
+};
+
+}  // namespace firestore::model
+
+#endif  // FIRESTORE_MODEL_PATH_H_

@@ -1,0 +1,495 @@
+#include "firestore/query/executor.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "firestore/codec/document_codec.h"
+#include "firestore/codec/value_codec.h"
+#include "firestore/index/layout.h"
+
+namespace firestore::query {
+
+using model::Document;
+using model::FieldPath;
+using model::Map;
+using model::ResourcePath;
+using model::Value;
+
+namespace {
+
+constexpr int64_t kScanBatch = 256;
+
+Document ApplyProjection(const Query& query, Document doc) {
+  if (query.projection().empty()) return doc;
+  Document projected(doc.name(), {});
+  projected.set_create_time(doc.create_time());
+  projected.set_update_time(doc.update_time());
+  for (const FieldPath& f : query.projection()) {
+    std::optional<Value> v = doc.GetField(f);
+    if (v.has_value()) projected.SetField(f, std::move(*v));
+  }
+  return projected;
+}
+
+// Accumulates verified documents while honoring offset/limit. Returns true
+// while more results are wanted.
+class ResultCollector {
+ public:
+  ResultCollector(const Query& query, QueryResult* out)
+      : query_(query), out_(out), to_skip_(query.offset()) {}
+
+  // Candidate document name produced by the plan; fetches + verifies it.
+  // Sets *done when the limit has been reached.
+  Status Add(RowReader& reader, std::string_view database_id,
+             const ResourcePath& name, bool* done) {
+    *done = false;
+    spanner::Timestamp version = 0;
+    ASSIGN_OR_RETURN(spanner::RowValue row,
+                     reader.Read(index::kEntitiesTable,
+                                 index::EntityKey(database_id, name),
+                                 &version));
+    ++out_->stats.entities_fetched;
+    if (!row.has_value()) {
+      // Index entry without a document: tolerated here (the write path keeps
+      // them consistent; a race with a concurrent snapshot cannot happen at
+      // a fixed timestamp).
+      return Status::Ok();
+    }
+    ASSIGN_OR_RETURN(Document doc, codec::ParseDocument(*row));
+    codec::ResolveDocumentTimestamps(doc, version);
+    if (!query_.Matches(doc)) return Status::Ok();
+    if (to_skip_ > 0) {
+      --to_skip_;
+      return Status::Ok();
+    }
+    out_->documents.push_back(ApplyProjection(query_, std::move(doc)));
+    if (query_.limit() > 0 &&
+        static_cast<int64_t>(out_->documents.size()) >= query_.limit()) {
+      *done = true;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const Query& query_;
+  QueryResult* out_;
+  int64_t to_skip_;
+};
+
+// Forward iterator over one index scan's rows with SeekGE support.
+class IndexScanIterator {
+ public:
+  IndexScanIterator(RowReader& reader, const IndexScan& scan,
+                    QueryStats* stats)
+      : reader_(reader), scan_(scan), stats_(stats) {}
+
+  // Positions at the first key >= `key` within the scan bounds. Returns
+  // false when exhausted (or propagates an error via status()).
+  bool SeekGE(const std::string& key) {
+    std::string start = std::max(key, scan_.start_key);
+    ++stats_->seeks;
+    auto rows = reader_.Scan(index::kIndexEntriesTable, start,
+                             scan_.limit_key, 1);
+    if (!rows.ok()) {
+      status_ = rows.status();
+      return false;
+    }
+    ++stats_->index_rows_scanned;
+    if (rows->empty()) {
+      exhausted_ = true;
+      return false;
+    }
+    current_key_ = (*rows)[0].key;
+    return true;
+  }
+
+  bool Next() { return SeekGE(KeySuccessor(current_key_)); }
+
+  // The shared merge suffix (order values + name) of the current row.
+  std::string_view suffix() const {
+    return std::string_view(current_key_).substr(scan_.prefix_len);
+  }
+  const std::string& current_key() const { return current_key_; }
+  // Absolute key for a given suffix in this scan's key space.
+  std::string KeyForSuffix(std::string_view suffix) const {
+    return current_key_.substr(0, scan_.prefix_len) + std::string(suffix);
+  }
+
+  bool exhausted() const { return exhausted_; }
+  const Status& status() const { return status_; }
+
+ private:
+  RowReader& reader_;
+  const IndexScan& scan_;
+  QueryStats* stats_;
+  std::string current_key_;
+  bool exhausted_ = false;
+  Status status_;
+};
+
+bool OverBudget(const ExecOptions& options, QueryResult* out) {
+  if (options.max_index_rows > 0 &&
+      out->stats.index_rows_scanned >= options.max_index_rows) {
+    out->reached_scan_limit = true;
+    return true;
+  }
+  return false;
+}
+
+Status RunCollectionScan(RowReader& reader, std::string_view database_id,
+                         const Query& query, const QueryPlan& plan,
+                         const ExecOptions& options, QueryResult* out) {
+  ResultCollector collector(query, out);
+  std::string start = plan.entities_start;
+  while (true) {
+    ASSIGN_OR_RETURN(std::vector<spanner::ScanRow> rows,
+                     reader.Scan(index::kEntitiesTable, start,
+                                 plan.entities_limit, kScanBatch));
+    if (rows.empty()) return Status::Ok();
+    for (const spanner::ScanRow& row : rows) {
+      out->stats.index_rows_scanned++;
+      ASSIGN_OR_RETURN(Document doc, codec::ParseDocument(row.value));
+      codec::ResolveDocumentTimestamps(doc, row.version);
+      if (query.Matches(doc)) {
+        bool done = false;
+        RETURN_IF_ERROR(
+            collector.Add(reader, database_id, doc.name(), &done));
+        if (done) return Status::Ok();
+      }
+      if (OverBudget(options, out)) return Status::Ok();
+    }
+    start = KeySuccessor(rows.back().key);
+  }
+}
+
+Status RunSingleScan(RowReader& reader, std::string_view database_id,
+                     const Query& query, const QueryPlan& plan,
+                     const ExecOptions& options, QueryResult* out) {
+  const IndexScan& scan = plan.scans[0];
+  ResultCollector collector(query, out);
+  std::string start = scan.start_key;
+  while (true) {
+    ASSIGN_OR_RETURN(
+        std::vector<spanner::ScanRow> rows,
+        reader.Scan(index::kIndexEntriesTable, start, scan.limit_key,
+                    kScanBatch));
+    if (rows.empty()) return Status::Ok();
+    for (const spanner::ScanRow& row : rows) {
+      out->stats.index_rows_scanned++;
+      std::string_view suffix =
+          std::string_view(row.key).substr(scan.prefix_len);
+      ResourcePath name;
+      if (!index::ParseIndexEntryName(suffix, plan.suffix_directions,
+                                      &name)) {
+        return InternalError("corrupt index entry key");
+      }
+      bool done = false;
+      RETURN_IF_ERROR(collector.Add(reader, database_id, name, &done));
+      if (done) return Status::Ok();
+      if (OverBudget(options, out)) return Status::Ok();
+    }
+    start = KeySuccessor(rows.back().key);
+  }
+}
+
+Status RunZigZagJoin(RowReader& reader, std::string_view database_id,
+                     const Query& query, const QueryPlan& plan,
+                     const ExecOptions& options, QueryResult* out) {
+  ResultCollector collector(query, out);
+  std::vector<IndexScanIterator> iters;
+  iters.reserve(plan.scans.size());
+  for (const IndexScan& scan : plan.scans) {
+    iters.emplace_back(reader, scan, &out->stats);
+  }
+  // Initial positioning.
+  for (IndexScanIterator& it : iters) {
+    if (!it.SeekGE(std::string())) {
+      return it.status();  // OK status == some scan is simply empty
+    }
+  }
+  while (true) {
+    // Find the largest current suffix; check whether all agree.
+    std::string_view max_suffix = iters[0].suffix();
+    bool all_equal = true;
+    for (IndexScanIterator& it : iters) {
+      if (it.suffix() != max_suffix) {
+        all_equal = false;
+        if (it.suffix() > max_suffix) max_suffix = it.suffix();
+      }
+    }
+    if (all_equal) {
+      ResourcePath name;
+      if (!index::ParseIndexEntryName(max_suffix, plan.suffix_directions,
+                                      &name)) {
+        return InternalError("corrupt index entry key in join");
+      }
+      bool done = false;
+      RETURN_IF_ERROR(collector.Add(reader, database_id, name, &done));
+      if (done || OverBudget(options, out)) return Status::Ok();
+      for (IndexScanIterator& it : iters) {
+        if (!it.Next()) return it.status();
+      }
+      continue;
+    }
+    // Leapfrog: advance every lagging iterator to the max suffix.
+    std::string target(max_suffix);
+    for (IndexScanIterator& it : iters) {
+      if (it.suffix() < target) {
+        if (!it.SeekGE(it.KeyForSuffix(target))) return it.status();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<QueryResult> ExecuteQuery(RowReader& reader,
+                                   std::string_view database_id,
+                                   const Query& query, const QueryPlan& plan,
+                                   ExecOptions options) {
+  QueryResult result;
+  Status s;
+  if (plan.collection_scan) {
+    s = RunCollectionScan(reader, database_id, query, plan, options,
+                          &result);
+  } else if (plan.scans.size() == 1) {
+    s = RunSingleScan(reader, database_id, query, plan, options, &result);
+  } else {
+    FS_CHECK_GT(plan.scans.size(), 1u);
+    s = RunZigZagJoin(reader, database_id, query, plan, options, &result);
+  }
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<QueryResult> PlanAndExecute(index::IndexCatalog& catalog,
+                                     RowReader& reader,
+                                     std::string_view database_id,
+                                     const Query& query) {
+  ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(catalog, database_id, query));
+  return ExecuteQuery(reader, database_id, query, plan);
+}
+
+namespace {
+
+// Index scans bound most predicates exactly; the residual checks a count
+// must perform per candidate are collection membership (the index spans the
+// whole collection group) and — never, thanks to the contradiction check
+// below — repeated equality filters on one field.
+bool HasContradictoryEqualities(const Query& query) {
+  const auto& filters = query.filters();
+  for (size_t i = 0; i < filters.size(); ++i) {
+    if (filters[i].op != Operator::kEqual) continue;
+    for (size_t j = i + 1; j < filters.size(); ++j) {
+      if (filters[j].op != Operator::kEqual) continue;
+      if (filters[i].field == filters[j].field &&
+          filters[i].value.Compare(filters[j].value) != 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool NameInCollection(const ResourcePath& name, const ResourcePath& parent) {
+  return name.Parent() == parent;
+}
+
+}  // namespace
+
+StatusOr<CountResult> ExecuteCountQuery(RowReader& reader,
+                                        std::string_view database_id,
+                                        const Query& query,
+                                        const QueryPlan& plan) {
+  CountResult result;
+  if (HasContradictoryEqualities(query)) return result;  // provably empty
+  const ResourcePath collection = query.CollectionPath();
+  int64_t matches = 0;
+
+  if (plan.collection_scan) {
+    std::string start = plan.entities_start;
+    std::string db_prefix = index::EntityKeyPrefixForDatabase(database_id);
+    while (true) {
+      ASSIGN_OR_RETURN(std::vector<spanner::ScanRow> rows,
+                       reader.Scan(index::kEntitiesTable, start,
+                                   plan.entities_limit, kScanBatch));
+      if (rows.empty()) break;
+      for (const spanner::ScanRow& row : rows) {
+        ++result.stats.index_rows_scanned;
+        // The name is recoverable from the key alone; the document payload
+        // is never inspected.
+        std::string_view suffix;
+        ResourcePath name;
+        if (!index::IndexEntrySuffix(row.key, db_prefix, &suffix) ||
+            !codec::ParseResourcePath(&suffix, &name)) {
+          return InternalError("corrupt entity key");
+        }
+        if (NameInCollection(name, collection)) ++matches;
+      }
+      start = KeySuccessor(rows.back().key);
+    }
+  } else if (plan.scans.size() == 1) {
+    const IndexScan& scan = plan.scans[0];
+    std::string start = scan.start_key;
+    while (true) {
+      ASSIGN_OR_RETURN(std::vector<spanner::ScanRow> rows,
+                       reader.Scan(index::kIndexEntriesTable, start,
+                                   scan.limit_key, kScanBatch));
+      if (rows.empty()) break;
+      for (const spanner::ScanRow& row : rows) {
+        ++result.stats.index_rows_scanned;
+        std::string_view suffix =
+            std::string_view(row.key).substr(scan.prefix_len);
+        ResourcePath name;
+        if (!index::ParseIndexEntryName(suffix, plan.suffix_directions,
+                                        &name)) {
+          return InternalError("corrupt index entry key");
+        }
+        if (NameInCollection(name, collection)) ++matches;
+      }
+      start = KeySuccessor(rows.back().key);
+    }
+  } else {
+    std::vector<IndexScanIterator> iters;
+    iters.reserve(plan.scans.size());
+    for (const IndexScan& scan : plan.scans) {
+      iters.emplace_back(reader, scan, &result.stats);
+    }
+    bool alive = true;
+    for (IndexScanIterator& it : iters) {
+      if (!it.SeekGE(std::string())) {
+        RETURN_IF_ERROR(it.status());
+        alive = false;
+        break;
+      }
+    }
+    while (alive) {
+      std::string_view max_suffix = iters[0].suffix();
+      bool all_equal = true;
+      for (IndexScanIterator& it : iters) {
+        if (it.suffix() != max_suffix) {
+          all_equal = false;
+          if (it.suffix() > max_suffix) max_suffix = it.suffix();
+        }
+      }
+      if (all_equal) {
+        ResourcePath name;
+        if (!index::ParseIndexEntryName(max_suffix, plan.suffix_directions,
+                                        &name)) {
+          return InternalError("corrupt index entry key in join");
+        }
+        if (NameInCollection(name, collection)) ++matches;
+        for (IndexScanIterator& it : iters) {
+          if (!it.Next()) {
+            RETURN_IF_ERROR(it.status());
+            alive = false;
+            break;
+          }
+        }
+        continue;
+      }
+      std::string target(max_suffix);
+      for (IndexScanIterator& it : iters) {
+        if (it.suffix() < target) {
+          if (!it.SeekGE(it.KeyForSuffix(target))) {
+            RETURN_IF_ERROR(it.status());
+            alive = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  matches = std::max<int64_t>(0, matches - query.offset());
+  if (query.limit() > 0) matches = std::min<int64_t>(matches, query.limit());
+  result.count = matches;
+  return result;
+}
+
+namespace {
+
+void Accumulate(const Value& v, AggregateResult* agg) {
+  if (!v.is_number()) return;  // non-numeric values are ignored
+  ++agg->count;
+  if (v.is_integer() && agg->is_integer) {
+    agg->sum_integer += v.integer_value();
+  } else {
+    if (agg->is_integer) {
+      // Switch representation, carrying the integral prefix.
+      agg->sum_double = static_cast<double>(agg->sum_integer);
+      agg->is_integer = false;
+    }
+    agg->sum_double += v.AsDouble();
+  }
+}
+
+}  // namespace
+
+StatusOr<AggregateResult> ExecuteSumQuery(RowReader& reader,
+                                          std::string_view database_id,
+                                          const Query& query,
+                                          const QueryPlan& plan,
+                                          const model::FieldPath& field) {
+  AggregateResult agg;
+  if (HasContradictoryEqualities(query)) return agg;
+  const ResourcePath collection = query.CollectionPath();
+
+  // Fast path: the field's values are the first suffix component of a
+  // single index scan — decode them from the keys.
+  if (!plan.collection_scan && plan.scans.size() == 1 &&
+      !plan.scans[0].suffix_fields.empty() &&
+      plan.scans[0].suffix_fields[0] == field) {
+    const IndexScan& scan = plan.scans[0];
+    int64_t skipped = 0, taken = 0;
+    std::string start = scan.start_key;
+    while (true) {
+      ASSIGN_OR_RETURN(std::vector<spanner::ScanRow> rows,
+                       reader.Scan(index::kIndexEntriesTable, start,
+                                   scan.limit_key, kScanBatch));
+      if (rows.empty()) return agg;
+      for (const spanner::ScanRow& row : rows) {
+        ++agg.stats.index_rows_scanned;
+        std::string_view suffix =
+            std::string_view(row.key).substr(scan.prefix_len);
+        Value value;
+        bool ok = plan.suffix_directions[0]
+                      ? codec::ParseValueDesc(&suffix, &value)
+                      : codec::ParseValueAsc(&suffix, &value);
+        if (!ok) return InternalError("corrupt index entry value");
+        // Remaining suffix components + name.
+        ResourcePath name;
+        std::vector<bool> rest(plan.suffix_directions.begin() + 1,
+                               plan.suffix_directions.end());
+        if (!index::ParseIndexEntryName(suffix, rest, &name)) {
+          return InternalError("corrupt index entry key");
+        }
+        if (!NameInCollection(name, collection)) continue;
+        if (skipped < query.offset()) {
+          ++skipped;
+          continue;
+        }
+        if (query.limit() > 0 && taken >= query.limit()) return agg;
+        ++taken;
+        Accumulate(value, &agg);
+      }
+      start = KeySuccessor(rows.back().key);
+    }
+  }
+
+  // General path: run the underlying query (without projection, so the
+  // aggregated field is present) and fold.
+  Query fetch = query;
+  fetch.Project({});
+  ASSIGN_OR_RETURN(QueryResult result,
+                   ExecuteQuery(reader, database_id, fetch, plan));
+  agg.stats = result.stats;
+  for (const Document& doc : result.documents) {
+    std::optional<Value> v = doc.GetField(field);
+    if (v.has_value()) Accumulate(*v, &agg);
+  }
+  return agg;
+}
+
+}  // namespace firestore::query

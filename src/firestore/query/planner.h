@@ -1,0 +1,68 @@
+// Query planner: greedy index-set selection (paper §IV-D3).
+//
+// "Selecting the ideal set of indexes to join for a query is intractable, so
+// Firestore's query engine uses a greedy index-set selection algorithm that
+// optimizes for the number of selected indexes. If no such set exists,
+// Firestore returns an error message that includes a link for adding the
+// required index."
+
+#ifndef FIRESTORE_QUERY_PLANNER_H_
+#define FIRESTORE_QUERY_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "firestore/index/catalog.h"
+#include "firestore/query/query.h"
+
+namespace firestore::query {
+
+// One index range scan participating in the plan.
+struct IndexScan {
+  index::IndexId index_id = 0;
+  // Absolute IndexEntries key bounds: [start_key, limit_key).
+  std::string start_key;
+  std::string limit_key;
+  // Byte length of this scan's fixed prefix (database + index id + encoded
+  // equality values). The remainder of each row key — the scan's *suffix* —
+  // is the shared (order values..., document name) tuple that zig-zag
+  // joining merges on.
+  size_t prefix_len = 0;
+  // Fields of the suffix's value components, in order (parallel to the
+  // plan's suffix_directions). Lets aggregations decode field values
+  // directly from index keys without fetching documents.
+  std::vector<model::FieldPath> suffix_fields;
+  // Human-readable description for EXPLAIN-style output.
+  std::string description;
+};
+
+struct QueryPlan {
+  // Filter-less, order-less queries scan the Entities table directly by
+  // collection prefix (documents are name-ordered there), instead of an
+  // index.
+  bool collection_scan = false;
+  std::string entities_start;
+  std::string entities_limit;
+
+  // Otherwise: single element = plain index scan; multiple = zig-zag join,
+  // merging on the common suffix.
+  std::vector<IndexScan> scans;
+  // Directions of the shared order-suffix components (true = descending),
+  // used to parse the document name off each suffix.
+  std::vector<bool> suffix_directions;
+
+  std::string DebugString() const;
+};
+
+// Plans `query` against the active indexes of its collection. May lazily
+// materialize automatic index definitions. Fails with FAILED_PRECONDITION
+// (message mirrors Firestore's "add the required index" error) when no index
+// set can serve the query.
+StatusOr<QueryPlan> PlanQuery(index::IndexCatalog& catalog,
+                              std::string_view database_id,
+                              const Query& query);
+
+}  // namespace firestore::query
+
+#endif  // FIRESTORE_QUERY_PLANNER_H_

@@ -1,0 +1,82 @@
+// Read-access abstraction for query execution. Queries run either inside a
+// Firestore transaction (Spanner reads take read locks) or lock-free at a
+// snapshot timestamp (paper §IV-D3); the executor is agnostic.
+
+#ifndef FIRESTORE_QUERY_ROW_READER_H_
+#define FIRESTORE_QUERY_ROW_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "spanner/database.h"
+
+namespace firestore::query {
+
+class RowReader {
+ public:
+  virtual ~RowReader() = default;
+
+  // `version` (optional) receives the commit timestamp of the version read.
+  virtual StatusOr<spanner::RowValue> Read(
+      const std::string& table, const spanner::Key& key,
+      spanner::Timestamp* version = nullptr) = 0;
+
+  // Up to `max_rows` rows with key in [start, limit), in key order.
+  virtual StatusOr<std::vector<spanner::ScanRow>> Scan(
+      const std::string& table, const spanner::Key& start,
+      const spanner::Key& limit, int64_t max_rows) = 0;
+};
+
+// Lock-free reads at a fixed timestamp.
+class SnapshotRowReader : public RowReader {
+ public:
+  SnapshotRowReader(const spanner::Database* db, spanner::Timestamp ts)
+      : db_(db), ts_(ts) {}
+
+  spanner::Timestamp timestamp() const { return ts_; }
+
+  StatusOr<spanner::RowValue> Read(
+      const std::string& table, const spanner::Key& key,
+      spanner::Timestamp* version = nullptr) override {
+    return db_->SnapshotRead(table, key, ts_, version);
+  }
+
+  StatusOr<std::vector<spanner::ScanRow>> Scan(const std::string& table,
+                                               const spanner::Key& start,
+                                               const spanner::Key& limit,
+                                               int64_t max_rows) override {
+    return db_->SnapshotScan(table, start, limit, ts_, max_rows);
+  }
+
+ private:
+  const spanner::Database* db_;
+  spanner::Timestamp ts_;
+};
+
+// Locking reads within a read-write transaction.
+class TransactionRowReader : public RowReader {
+ public:
+  explicit TransactionRowReader(spanner::ReadWriteTransaction* txn)
+      : txn_(txn) {}
+
+  StatusOr<spanner::RowValue> Read(
+      const std::string& table, const spanner::Key& key,
+      spanner::Timestamp* version = nullptr) override {
+    return txn_->Read(table, key, spanner::LockMode::kShared, version);
+  }
+
+  StatusOr<std::vector<spanner::ScanRow>> Scan(const std::string& table,
+                                               const spanner::Key& start,
+                                               const spanner::Key& limit,
+                                               int64_t max_rows) override {
+    return txn_->Scan(table, start, limit, max_rows);
+  }
+
+ private:
+  spanner::ReadWriteTransaction* txn_;
+};
+
+}  // namespace firestore::query
+
+#endif  // FIRESTORE_QUERY_ROW_READER_H_

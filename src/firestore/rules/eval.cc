@@ -1,0 +1,294 @@
+// Evaluator for the security-rules subset. Default deny; evaluation errors
+// in a condition deny that allow statement only.
+
+#include <algorithm>
+
+#include "firestore/rules/rules.h"
+
+namespace firestore::rules {
+
+using model::Document;
+using model::Map;
+using model::ResourcePath;
+using model::Value;
+using model::ValueType;
+
+namespace {
+
+// Variable bindings from path wildcards plus the builtin roots.
+struct EvalContext {
+  const AccessRequest* request;
+  std::map<std::string, Value> bindings;
+};
+
+Value AuthValue(const AuthContext& auth) {
+  if (!auth.authenticated) return Value::Null();
+  Map m;
+  m["uid"] = Value::String(auth.uid);
+  m["token"] = Value::FromMap(auth.claims);
+  return Value::FromMap(m);
+}
+
+Value DocumentValue(const Document& doc) {
+  Map m;
+  m["data"] = Value::FromMap(doc.fields());
+  if (doc.name().IsDocumentPath()) {
+    m["id"] = Value::String(doc.name().last_segment());
+  }
+  m["__name__"] = Value::String(doc.name().CanonicalString());
+  return Value::FromMap(m);
+}
+
+StatusOr<Value> Eval(const Expr& e, const EvalContext& ctx);
+
+StatusOr<bool> EvalBool(const Expr& e, const EvalContext& ctx) {
+  ASSIGN_OR_RETURN(Value v, Eval(e, ctx));
+  if (v.type() != ValueType::kBoolean) {
+    return InvalidArgumentError("expected boolean in rules condition");
+  }
+  return v.boolean_value();
+}
+
+StatusOr<Value> EvalVariable(const Expr& e, const EvalContext& ctx) {
+  const AccessRequest& req = *ctx.request;
+  if (e.name == "request") {
+    Map m;
+    m["auth"] = AuthValue(req.auth);
+    if (req.new_resource.has_value()) {
+      m["resource"] = DocumentValue(*req.new_resource);
+    } else {
+      m["resource"] = Value::Null();
+    }
+    static const char* const kMethodNames[] = {"get", "list", "create",
+                                               "update", "delete"};
+    m["method"] = Value::String(kMethodNames[static_cast<int>(req.kind)]);
+    m["path"] = Value::String(req.path.CanonicalString());
+    return Value::FromMap(m);
+  }
+  if (e.name == "resource") {
+    if (!req.resource.has_value()) return Value::Null();
+    return DocumentValue(*req.resource);
+  }
+  auto it = ctx.bindings.find(e.name);
+  if (it != ctx.bindings.end()) return it->second;
+  return InvalidArgumentError("unknown variable '" + e.name + "' in rules");
+}
+
+StatusOr<Value> EvalBinary(const Expr& e, const EvalContext& ctx) {
+  // Short-circuiting logical operators.
+  if (e.name == "&&") {
+    ASSIGN_OR_RETURN(bool lhs, EvalBool(*e.lhs, ctx));
+    if (!lhs) return Value::Boolean(false);
+    ASSIGN_OR_RETURN(bool rhs, EvalBool(*e.rhs, ctx));
+    return Value::Boolean(rhs);
+  }
+  if (e.name == "||") {
+    ASSIGN_OR_RETURN(bool lhs, EvalBool(*e.lhs, ctx));
+    if (lhs) return Value::Boolean(true);
+    ASSIGN_OR_RETURN(bool rhs, EvalBool(*e.rhs, ctx));
+    return Value::Boolean(rhs);
+  }
+  if (e.name == "list") {  // list literal
+    model::Array elements;
+    for (const auto& part : e.path_parts) {
+      ASSIGN_OR_RETURN(Value v, Eval(*part, ctx));
+      elements.push_back(std::move(v));
+    }
+    return Value::FromArray(std::move(elements));
+  }
+  ASSIGN_OR_RETURN(Value lhs, Eval(*e.lhs, ctx));
+  ASSIGN_OR_RETURN(Value rhs, Eval(*e.rhs, ctx));
+  if (e.name == "==") return Value::Boolean(lhs.Compare(rhs) == 0);
+  if (e.name == "!=") return Value::Boolean(lhs.Compare(rhs) != 0);
+  if (e.name == "in") {
+    if (rhs.type() == ValueType::kArray) {
+      for (const Value& v : rhs.array_value()) {
+        if (v.Compare(lhs) == 0) return Value::Boolean(true);
+      }
+      return Value::Boolean(false);
+    }
+    if (rhs.type() == ValueType::kMap &&
+        lhs.type() == ValueType::kString) {
+      return Value::Boolean(rhs.map_value().count(lhs.string_value()) != 0);
+    }
+    return InvalidArgumentError("'in' needs a list or map on the right");
+  }
+  if (e.name == "+" || e.name == "-") {
+    if (e.name == "+" && lhs.type() == ValueType::kString &&
+        rhs.type() == ValueType::kString) {
+      return Value::String(lhs.string_value() + rhs.string_value());
+    }
+    if (!lhs.is_number() || !rhs.is_number()) {
+      return InvalidArgumentError("arithmetic needs numbers");
+    }
+    if (lhs.is_integer() && rhs.is_integer()) {
+      int64_t result = e.name == "+"
+                           ? lhs.integer_value() + rhs.integer_value()
+                           : lhs.integer_value() - rhs.integer_value();
+      return Value::Integer(result);
+    }
+    double result = e.name == "+" ? lhs.AsDouble() + rhs.AsDouble()
+                                  : lhs.AsDouble() - rhs.AsDouble();
+    return Value::Double(result);
+  }
+  // Relational operators: same type class only.
+  if (lhs.type() != rhs.type()) {
+    return InvalidArgumentError("relational comparison across types");
+  }
+  int c = lhs.Compare(rhs);
+  if (e.name == "<") return Value::Boolean(c < 0);
+  if (e.name == "<=") return Value::Boolean(c <= 0);
+  if (e.name == ">") return Value::Boolean(c > 0);
+  if (e.name == ">=") return Value::Boolean(c >= 0);
+  return InternalError("unknown binary operator '" + e.name + "'");
+}
+
+StatusOr<ResourcePath> EvalPathTemplate(const Expr& e,
+                                        const EvalContext& ctx) {
+  std::vector<std::string> segments;
+  for (const auto& part : e.path_parts) {
+    ASSIGN_OR_RETURN(Value v, Eval(*part, ctx));
+    if (v.type() != ValueType::kString) {
+      return InvalidArgumentError("path segments must be strings");
+    }
+    // Embedded expressions may themselves be multi-segment paths.
+    for (size_t start = 0, pos = 0; pos <= v.string_value().size(); ++pos) {
+      if (pos == v.string_value().size() || v.string_value()[pos] == '/') {
+        if (pos > start) {
+          segments.push_back(v.string_value().substr(start, pos - start));
+        }
+        start = pos + 1;
+      }
+    }
+  }
+  if (segments.empty()) return InvalidArgumentError("empty path in get()");
+  return ResourcePath(std::move(segments));
+}
+
+StatusOr<Value> Eval(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kVariable:
+      return EvalVariable(e, ctx);
+    case ExprKind::kMember: {
+      ASSIGN_OR_RETURN(Value base, Eval(*e.lhs, ctx));
+      if (base.type() != ValueType::kMap) {
+        return InvalidArgumentError("member access '" + e.name +
+                                    "' on non-map value");
+      }
+      auto it = base.map_value().find(e.name);
+      if (it == base.map_value().end()) {
+        return InvalidArgumentError("no such member '" + e.name + "'");
+      }
+      return it->second;
+    }
+    case ExprKind::kUnaryNot: {
+      ASSIGN_OR_RETURN(bool operand, EvalBool(*e.lhs, ctx));
+      return Value::Boolean(!operand);
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, ctx);
+    case ExprKind::kGetCall:
+    case ExprKind::kExistsCall: {
+      if (!ctx.request->lookup) {
+        return FailedPreconditionError("no document lookup available");
+      }
+      ASSIGN_OR_RETURN(ResourcePath path, EvalPathTemplate(e, ctx));
+      ASSIGN_OR_RETURN(std::optional<Document> doc,
+                       ctx.request->lookup(path));
+      if (e.kind == ExprKind::kExistsCall) {
+        return Value::Boolean(doc.has_value());
+      }
+      if (!doc.has_value()) {
+        return NotFoundError("get() target does not exist: " +
+                             path.CanonicalString());
+      }
+      return DocumentValue(*doc);
+    }
+  }
+  return InternalError("corrupt rules expression");
+}
+
+// Matches pattern segments against path segments starting at `offset`,
+// binding wildcards. On full match, evaluates allows and recurses into
+// children. Returns true as soon as some allow grants the request.
+bool MatchAndAuthorize(const MatchBlock& block,
+                       const std::vector<std::string>& path, size_t offset,
+                       EvalContext& ctx, const AccessRequest& request) {
+  std::vector<std::pair<std::string, Value>> added;
+  size_t consumed = 0;
+  for (size_t i = 0; i < block.pattern.size(); ++i) {
+    const std::string& pat = block.pattern[i];
+    if (pat.size() > 4 && pat.substr(pat.size() - 4) == "=**}") {
+      // Rest-of-path wildcard: consumes everything remaining (at least one
+      // segment).
+      if (offset + consumed >= path.size()) return false;
+      std::string var = pat.substr(1, pat.size() - 5);
+      std::string rest;
+      for (size_t j = offset + consumed; j < path.size(); ++j) {
+        rest += "/" + path[j];
+      }
+      added.emplace_back(var, Value::String(rest));
+      consumed = path.size() - offset;
+      if (i + 1 != block.pattern.size()) return false;  // must be last
+      break;
+    }
+    if (offset + consumed >= path.size()) return false;
+    const std::string& segment = path[offset + consumed];
+    if (pat.front() == '{') {
+      std::string var = pat.substr(1, pat.size() - 2);
+      added.emplace_back(var, Value::String(segment));
+    } else if (pat != segment) {
+      return false;
+    }
+    ++consumed;
+  }
+  for (auto& [k, v] : added) ctx.bindings[k] = v;
+  bool granted = false;
+  if (offset + consumed == path.size()) {
+    // Full match: this block's allows apply.
+    for (const AllowStatement& allow : block.allows) {
+      if (std::find(allow.kinds.begin(), allow.kinds.end(), request.kind) ==
+          allow.kinds.end()) {
+        continue;
+      }
+      if (allow.condition == nullptr) {
+        granted = true;
+        break;
+      }
+      StatusOr<bool> result = EvalBool(*allow.condition, ctx);
+      if (result.ok() && *result) {
+        granted = true;
+        break;
+      }
+      // Errors deny this statement only.
+    }
+  }
+  if (!granted) {
+    for (const auto& child : block.children) {
+      if (MatchAndAuthorize(*child, path, offset + consumed, ctx, request)) {
+        granted = true;
+        break;
+      }
+    }
+  }
+  for (auto& [k, v] : added) ctx.bindings.erase(k);
+  return granted;
+}
+
+}  // namespace
+
+Status RuleSet::Authorize(const AccessRequest& request) const {
+  EvalContext ctx;
+  ctx.request = &request;
+  for (const auto& root : roots_) {
+    if (MatchAndAuthorize(*root, request.path.segments(), 0, ctx, request)) {
+      return Status::Ok();
+    }
+  }
+  return PermissionDeniedError("access denied by security rules for " +
+                               request.path.CanonicalString());
+}
+
+}  // namespace firestore::rules

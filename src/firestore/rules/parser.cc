@@ -1,0 +1,499 @@
+// Lexer + recursive-descent parser for the security-rules subset.
+
+#include <cctype>
+
+#include "firestore/rules/rules.h"
+
+namespace firestore::rules {
+
+namespace {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,      // match, allow, if, identifiers
+  kString,
+  kInt,
+  kDouble,
+  kPunct,      // single/multi char punctuation, text in `text`
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= src_.size()) break;
+      size_t start = pos_;
+      char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kIdent,
+                          std::string(src_.substr(start, pos_ - start)), 0, 0,
+                          start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        bool is_double = false;
+        while (pos_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '.')) {
+          if (src_[pos_] == '.') is_double = true;
+          ++pos_;
+        }
+        std::string text(src_.substr(start, pos_ - start));
+        Token t;
+        t.offset = start;
+        t.text = text;
+        if (is_double) {
+          t.kind = TokenKind::kDouble;
+          t.double_value = std::stod(text);
+        } else {
+          t.kind = TokenKind::kInt;
+          t.int_value = std::stoll(text);
+        }
+        tokens.push_back(std::move(t));
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        ++pos_;
+        std::string value;
+        while (pos_ < src_.size() && src_[pos_] != quote) {
+          if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+          value.push_back(src_[pos_]);
+          ++pos_;
+        }
+        if (pos_ >= src_.size()) {
+          return InvalidArgumentError("unterminated string literal");
+        }
+        ++pos_;  // closing quote
+        tokens.push_back({TokenKind::kString, value, 0, 0, start});
+        continue;
+      }
+      // Multi-char punctuation first.
+      static constexpr std::string_view kTwoChar[] = {"==", "!=", "<=", ">=",
+                                                      "&&", "||", "$("};
+      bool matched = false;
+      for (std::string_view p : kTwoChar) {
+        if (src_.substr(pos_).substr(0, 2) == p) {
+          tokens.push_back({TokenKind::kPunct, std::string(p), 0, 0, start});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static constexpr char kOneChar[] = "{}()[]/,;:.<>!+-=*";
+      if (std::string_view(kOneChar).find(c) != std::string_view::npos) {
+        tokens.push_back({TokenKind::kPunct, std::string(1, c), 0, 0, start});
+        ++pos_;
+        continue;
+      }
+      return InvalidArgumentError("unexpected character '" +
+                                  std::string(1, c) + "' in rules");
+    }
+    tokens.push_back({TokenKind::kEnd, "", 0, 0, pos_});
+    return tokens;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::vector<std::unique_ptr<MatchBlock>>> ParseRuleset() {
+    std::vector<std::unique_ptr<MatchBlock>> roots;
+    // Optional "service cloud.firestore { ... }" wrapper.
+    bool service_wrapper = false;
+    if (PeekIdent("service")) {
+      Advance();
+      // cloud.firestore (or any dotted name)
+      RETURN_IF_ERROR(ExpectIdent());
+      while (PeekPunct(".")) {
+        Advance();
+        RETURN_IF_ERROR(ExpectIdent());
+      }
+      RETURN_IF_ERROR(ExpectPunct("{"));
+      service_wrapper = true;
+    }
+    while (PeekIdent("match")) {
+      ASSIGN_OR_RETURN(std::unique_ptr<MatchBlock> block, ParseMatch());
+      roots.push_back(std::move(block));
+    }
+    if (service_wrapper) RETURN_IF_ERROR(ExpectPunct("}"));
+    if (!PeekEnd()) {
+      return InvalidArgumentError("unexpected trailing tokens in rules");
+    }
+    // Strip the conventional /databases/{db}/documents wrapper if present.
+    if (roots.size() == 1 && roots[0]->pattern.size() == 3 &&
+        roots[0]->pattern[0] == "databases" &&
+        roots[0]->pattern[2] == "documents" && roots[0]->allows.empty()) {
+      return std::move(roots[0]->children);
+    }
+    return roots;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+  bool PeekEnd() const { return Peek().kind == TokenKind::kEnd; }
+  bool PeekIdent(std::string_view name) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == name;
+  }
+  bool PeekPunct(std::string_view p) const {
+    return Peek().kind == TokenKind::kPunct && Peek().text == p;
+  }
+  Status ExpectPunct(std::string_view p) {
+    if (!PeekPunct(p)) {
+      return InvalidArgumentError("expected '" + std::string(p) +
+                                  "' in rules near '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::Ok();
+  }
+  Status ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return InvalidArgumentError("expected identifier in rules");
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  StatusOr<std::unique_ptr<MatchBlock>> ParseMatch() {
+    Advance();  // "match"
+    auto block = std::make_unique<MatchBlock>();
+    // Path pattern: ("/" segment)+
+    if (!PeekPunct("/")) {
+      return InvalidArgumentError("match pattern must start with '/'");
+    }
+    while (PeekPunct("/")) {
+      Advance();
+      if (PeekPunct("{")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdent) {
+          return InvalidArgumentError("expected wildcard variable name");
+        }
+        std::string var = Peek().text;
+        Advance();
+        bool rest = false;
+        if (PeekPunct("=")) {  // {var=**}
+          Advance();
+          RETURN_IF_ERROR(ExpectPunct("*"));
+          RETURN_IF_ERROR(ExpectPunct("*"));
+          rest = true;
+        }
+        RETURN_IF_ERROR(ExpectPunct("}"));
+        block->pattern.push_back(rest ? "{" + var + "=**}" : "{" + var + "}");
+      } else if (Peek().kind == TokenKind::kIdent) {
+        block->pattern.push_back(Peek().text);
+        Advance();
+      } else {
+        return InvalidArgumentError("bad match pattern segment");
+      }
+    }
+    RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!PeekPunct("}")) {
+      if (PeekIdent("match")) {
+        ASSIGN_OR_RETURN(std::unique_ptr<MatchBlock> child, ParseMatch());
+        block->children.push_back(std::move(child));
+      } else if (PeekIdent("allow")) {
+        ASSIGN_OR_RETURN(AllowStatement allow, ParseAllow());
+        block->allows.push_back(std::move(allow));
+      } else {
+        return InvalidArgumentError("expected 'match' or 'allow' near '" +
+                                    Peek().text + "'");
+      }
+    }
+    Advance();  // "}"
+    return block;
+  }
+
+  StatusOr<AllowStatement> ParseAllow() {
+    Advance();  // "allow"
+    AllowStatement allow;
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return InvalidArgumentError("expected access kind after 'allow'");
+      }
+      const std::string& op = Peek().text;
+      if (op == "read") {
+        allow.kinds.push_back(AccessKind::kGet);
+        allow.kinds.push_back(AccessKind::kList);
+      } else if (op == "write") {
+        allow.kinds.push_back(AccessKind::kCreate);
+        allow.kinds.push_back(AccessKind::kUpdate);
+        allow.kinds.push_back(AccessKind::kDelete);
+      } else if (op == "get") {
+        allow.kinds.push_back(AccessKind::kGet);
+      } else if (op == "list") {
+        allow.kinds.push_back(AccessKind::kList);
+      } else if (op == "create") {
+        allow.kinds.push_back(AccessKind::kCreate);
+      } else if (op == "update") {
+        allow.kinds.push_back(AccessKind::kUpdate);
+      } else if (op == "delete") {
+        allow.kinds.push_back(AccessKind::kDelete);
+      } else {
+        return InvalidArgumentError("unknown access kind '" + op + "'");
+      }
+      Advance();
+      if (PeekPunct(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (PeekPunct(":")) {
+      Advance();
+      if (!PeekIdent("if")) {
+        return InvalidArgumentError("expected 'if' after ':'");
+      }
+      Advance();
+      ASSIGN_OR_RETURN(allow.condition, ParseExpr());
+    }
+    RETURN_IF_ERROR(ExpectPunct(";"));
+    return allow;
+  }
+
+  // expr := and ("||" and)*
+  StatusOr<std::unique_ptr<Expr>> ParseExpr() {
+    ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+    while (PeekPunct("||")) {
+      Advance();
+      ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+      lhs = MakeBinary("||", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseAnd() {
+    ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseCmp());
+    while (PeekPunct("&&")) {
+      Advance();
+      ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseCmp());
+      lhs = MakeBinary("&&", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseCmp() {
+    ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdd());
+    static constexpr std::string_view kOps[] = {"==", "!=", "<=", ">=", "<",
+                                                ">"};
+    for (std::string_view op : kOps) {
+      if (PeekPunct(op)) {
+        Advance();
+        ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdd());
+        return MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    if (PeekIdent("in")) {
+      Advance();
+      ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdd());
+      return MakeBinary("in", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseAdd() {
+    ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+    while (PeekPunct("+") || PeekPunct("-")) {
+      std::string op = Peek().text;
+      Advance();
+      ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseUnary() {
+    if (PeekPunct("!")) {
+      Advance();
+      ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnaryNot;
+      e->lhs = std::move(operand);
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kString) {
+      auto e = MakeLiteral(model::Value::String(t.text));
+      Advance();
+      return e;
+    }
+    if (t.kind == TokenKind::kInt) {
+      auto e = MakeLiteral(model::Value::Integer(t.int_value));
+      Advance();
+      return e;
+    }
+    if (t.kind == TokenKind::kDouble) {
+      auto e = MakeLiteral(model::Value::Double(t.double_value));
+      Advance();
+      return e;
+    }
+    if (PeekPunct("(")) {
+      Advance();
+      ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+      RETURN_IF_ERROR(ExpectPunct(")"));
+      return inner;
+    }
+    if (PeekPunct("[")) {  // list literal
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->name = "list";
+      // Reuse path_parts as the element list.
+      if (!PeekPunct("]")) {
+        while (true) {
+          ASSIGN_OR_RETURN(std::unique_ptr<Expr> element, ParseExpr());
+          e->path_parts.push_back(std::move(element));
+          if (PeekPunct(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      RETURN_IF_ERROR(ExpectPunct("]"));
+      return e;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      if (t.text == "true" || t.text == "false") {
+        auto e = MakeLiteral(model::Value::Boolean(t.text == "true"));
+        Advance();
+        return e;
+      }
+      if (t.text == "null") {
+        auto e = MakeLiteral(model::Value::Null());
+        Advance();
+        return e;
+      }
+      if ((t.text == "get" || t.text == "exists") &&
+          tokens_[pos_ + 1].kind == TokenKind::kPunct &&
+          tokens_[pos_ + 1].text == "(") {
+        bool is_get = t.text == "get";
+        Advance();
+        Advance();  // '('
+        auto e = std::make_unique<Expr>();
+        e->kind = is_get ? ExprKind::kGetCall : ExprKind::kExistsCall;
+        // Path template: ("/" (ident | "$(" expr ")"))+
+        if (!PeekPunct("/")) {
+          return InvalidArgumentError("get()/exists() path must start with /");
+        }
+        while (PeekPunct("/")) {
+          Advance();
+          if (PeekPunct("$(")) {
+            Advance();
+            ASSIGN_OR_RETURN(std::unique_ptr<Expr> part, ParseExpr());
+            RETURN_IF_ERROR(ExpectPunct(")"));
+            e->path_parts.push_back(std::move(part));
+          } else if (Peek().kind == TokenKind::kIdent) {
+            e->path_parts.push_back(MakeLiteral(
+                model::Value::String(Peek().text)));
+            Advance();
+          } else {
+            return InvalidArgumentError("bad get()/exists() path segment");
+          }
+        }
+        RETURN_IF_ERROR(ExpectPunct(")"));
+        return WrapMemberChain(std::move(e));
+      }
+      // Variable with optional member chain.
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kVariable;
+      e->name = t.text;
+      Advance();
+      return WrapMemberChain(std::move(e));
+    }
+    return InvalidArgumentError("unexpected token '" + t.text +
+                                "' in rules expression");
+  }
+
+  StatusOr<std::unique_ptr<Expr>> WrapMemberChain(std::unique_ptr<Expr> base) {
+    while (PeekPunct(".")) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdent) {
+        return InvalidArgumentError("expected member name after '.'");
+      }
+      auto member = std::make_unique<Expr>();
+      member->kind = ExprKind::kMember;
+      member->name = Peek().text;
+      member->lhs = std::move(base);
+      base = std::move(member);
+      Advance();
+    }
+    return base;
+  }
+
+  static std::unique_ptr<Expr> MakeLiteral(model::Value v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+
+  static std::unique_ptr<Expr> MakeBinary(std::string_view op,
+                                          std::unique_ptr<Expr> lhs,
+                                          std::unique_ptr<Expr> rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->name = std::string(op);
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<RuleSet> RuleSet::Parse(std::string_view source) {
+  Lexer lexer(source);
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  ASSIGN_OR_RETURN(std::vector<std::unique_ptr<MatchBlock>> roots,
+                   parser.ParseRuleset());
+  RuleSet rules;
+  rules.roots_ = std::move(roots);
+  return rules;
+}
+
+}  // namespace firestore::rules

@@ -1,0 +1,134 @@
+// Firestore Security Rules (paper §III-E): a small language for fine-grained
+// access control, evaluated server-side for every third-party request.
+//
+// Supported subset (faithful to the shape of Firebase Security Rules):
+//
+//   match /restaurants/{restaurantId} {
+//     allow read: if true;
+//     match /ratings/{ratingId} {
+//       allow read: if request.auth != null;
+//       allow create: if request.auth.uid == request.resource.data.userId;
+//       allow update, delete: if false;
+//     }
+//   }
+//
+// - nested match blocks with {var} single-segment and {var=**} rest-of-path
+//   wildcards
+// - allow ops: read (get, list), write (create, update, delete)
+// - expressions: || && ! == != < <= > >= + - in, literals (string, int,
+//   double, bool, null), member access (request.auth.uid, resource.data.f,
+//   request.resource.data.f), path variables, and the document-lookup
+//   builtins get(<path>).data.f and exists(<path>), executed through a
+//   caller-supplied accessor so lookups are transactionally consistent with
+//   the operation being authorized.
+
+#ifndef FIRESTORE_RULES_RULES_H_
+#define FIRESTORE_RULES_RULES_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "firestore/model/document.h"
+#include "firestore/model/path.h"
+#include "firestore/model/value.h"
+
+namespace firestore::rules {
+
+// The operation being authorized.
+enum class AccessKind {
+  kGet,     // single-document read
+  kList,    // query
+  kCreate,
+  kUpdate,
+  kDelete,
+};
+
+// Authenticated end-user identity; unauthenticated => uid empty.
+struct AuthContext {
+  bool authenticated = false;
+  std::string uid;
+  // Additional token claims (e.g. "admin": true).
+  model::Map claims;
+};
+
+// Transactionally-consistent document accessor for get()/exists() builtins.
+using DocumentLookup = std::function<StatusOr<std::optional<model::Document>>(
+    const model::ResourcePath&)>;
+
+// One access request to authorize.
+struct AccessRequest {
+  AccessKind kind = AccessKind::kGet;
+  model::ResourcePath path;  // document path being accessed
+  AuthContext auth;
+  // Existing document (update/delete/get); nullopt if absent.
+  std::optional<model::Document> resource;
+  // Incoming document (create/update); nullopt otherwise.
+  std::optional<model::Document> new_resource;
+  // Lookup for get()/exists(); may be null (builtins then error => deny).
+  DocumentLookup lookup;
+};
+
+// -- AST --
+
+enum class ExprKind {
+  kLiteral,
+  kVariable,    // path wildcard variable or builtin root (request, resource)
+  kMember,      // base.field
+  kUnaryNot,
+  kBinary,      // op in {||, &&, ==, !=, <, <=, >, >=, +, -, in}
+  kGetCall,     // get(<path-expr-parts>)
+  kExistsCall,  // exists(<path-expr-parts>)
+};
+
+struct Expr {
+  ExprKind kind;
+  model::Value literal;                      // kLiteral
+  std::string name;                          // kVariable / kMember field / op
+  std::unique_ptr<Expr> lhs;                 // kMember base, kUnary, kBinary
+  std::unique_ptr<Expr> rhs;                 // kBinary
+  // kGetCall/kExistsCall: alternating literal segments and embedded exprs,
+  // e.g. get(/restaurants/$(restaurantId)).
+  std::vector<std::unique_ptr<Expr>> path_parts;
+};
+
+struct AllowStatement {
+  std::vector<AccessKind> kinds;
+  std::unique_ptr<Expr> condition;  // null => always allow
+};
+
+struct MatchBlock {
+  // Path pattern segments: literal, "{var}", or "{var=**}" (final only).
+  std::vector<std::string> pattern;
+  std::vector<AllowStatement> allows;
+  std::vector<std::unique_ptr<MatchBlock>> children;
+};
+
+// A parsed ruleset. Default-deny: a request is allowed iff some allow
+// statement reachable through matching blocks evaluates to true. Errors
+// during evaluation of one statement deny that statement but do not poison
+// others.
+class RuleSet {
+ public:
+  static StatusOr<RuleSet> Parse(std::string_view source);
+
+  // An empty ruleset that denies everything.
+  RuleSet() = default;
+
+  RuleSet(RuleSet&&) = default;
+  RuleSet& operator=(RuleSet&&) = default;
+
+  // Returns OK if allowed, PERMISSION_DENIED otherwise.
+  Status Authorize(const AccessRequest& request) const;
+
+ private:
+  std::vector<std::unique_ptr<MatchBlock>> roots_;
+};
+
+}  // namespace firestore::rules
+
+#endif  // FIRESTORE_RULES_RULES_H_

@@ -1,0 +1,308 @@
+#include "frontend/frontend.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "firestore/index/layout.h"
+
+namespace firestore::frontend {
+
+using backend::DocumentChange;
+using model::Document;
+using spanner::Timestamp;
+
+Frontend::Frontend(const Clock* clock, backend::ReadService* reader,
+                   rtcache::QueryMatcher* matcher,
+                   const rtcache::RangeOwnership* ranges,
+                   TenantResolver tenants)
+    : clock_(clock),
+      reader_(reader),
+      matcher_(matcher),
+      ranges_(ranges),
+      tenants_(std::move(tenants)) {}
+
+Frontend::ConnectionId Frontend::OpenConnection(
+    const std::string& database_id, rules::AuthContext auth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnectionId id = next_id_++;
+  connections_[id] = Connection{database_id, std::move(auth), false, {}};
+  return id;
+}
+
+Frontend::ConnectionId Frontend::OpenPrivilegedConnection(
+    const std::string& database_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnectionId id = next_id_++;
+  connections_[id] = Connection{database_id, {}, true, {}};
+  return id;
+}
+
+void Frontend::CloseConnection(ConnectionId connection) {
+  std::vector<uint64_t> to_unsubscribe;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.find(connection);
+    if (it == connections_.end()) return;
+    for (TargetId t : it->second.targets) {
+      auto target = targets_.find(t);
+      if (target == targets_.end()) continue;
+      to_unsubscribe.push_back(target->second.subscription_id);
+      by_subscription_.erase(target->second.subscription_id);
+      targets_.erase(target);
+    }
+    connections_.erase(it);
+  }
+  for (uint64_t sub : to_unsubscribe) matcher_->Unsubscribe(sub);
+}
+
+StatusOr<Frontend::TargetId> Frontend::Listen(ConnectionId connection,
+                                              query::Query q,
+                                              SnapshotCallback callback) {
+  RETURN_IF_ERROR(q.Validate());
+  QuerySnapshot initial;
+  SnapshotCallback cb_copy;
+  TargetId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto conn = connections_.find(connection);
+    if (conn == connections_.end()) {
+      return NotFoundError("no such connection");
+    }
+    id = next_id_++;
+    Target target;
+    target.connection = connection;
+    target.database_id = conn->second.database_id;
+    target.query = std::move(q);
+    target.callback = std::move(callback);
+    target.delta_capable =
+        target.query.limit() == 0 && target.query.offset() == 0;
+    ASSIGN_OR_RETURN(initial, ResetTargetLocked(id, target));
+    cb_copy = target.callback;
+    conn->second.targets.push_back(id);
+    targets_.emplace(id, std::move(target));
+  }
+  ++snapshots_delivered_;
+  cb_copy(initial);
+  return id;
+}
+
+Status Frontend::StopListen(ConnectionId connection, TargetId target_id) {
+  uint64_t sub = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = targets_.find(target_id);
+    if (it == targets_.end() || it->second.connection != connection) {
+      return NotFoundError("no such listen target");
+    }
+    sub = it->second.subscription_id;
+    by_subscription_.erase(sub);
+    targets_.erase(it);
+    auto conn = connections_.find(connection);
+    if (conn != connections_.end()) {
+      auto& ts = conn->second.targets;
+      ts.erase(std::remove(ts.begin(), ts.end(), target_id), ts.end());
+    }
+  }
+  matcher_->Unsubscribe(sub);
+  return Status::Ok();
+}
+
+StatusOr<QuerySnapshot> Frontend::ResetTargetLocked(TargetId id,
+                                                    Target& target) {
+  ASSIGN_OR_RETURN(TenantAccess tenant, tenants_(target.database_id));
+  const rules::AuthContext* auth = nullptr;
+  const rules::RuleSet* rules = nullptr;
+  auto conn = connections_.find(target.connection);
+  if (conn != connections_.end() && !conn->second.privileged) {
+    // Third-party access must be authorized by security rules.
+    if (tenant.rules == nullptr) {
+      return PermissionDeniedError(
+          "third-party access requires security rules");
+    }
+    rules = tenant.rules;
+    auth = &conn->second.auth;
+  }
+  // Step 2 (paper): the Backend runs the query like any other query; the
+  // response's timestamp becomes max-commit-version.
+  ASSIGN_OR_RETURN(backend::RunQueryResult initial,
+                   reader_->RunQuery(target.database_id, *tenant.catalog,
+                                     target.query, /*read_ts=*/0,
+                                     rules, auth));
+  target.max_commit_version = initial.read_ts;
+  target.results.clear();
+  target.pending.clear();
+  target.watermarks.clear();
+  target.needs_reset = false;
+  for (const Document& doc : initial.result.documents) {
+    target.results.emplace(doc.name().CanonicalString(), doc);
+  }
+  // Steps 4: subscribe to the Query Matchers owning the document-name
+  // ranges that cover the query's result set.
+  if (target.subscription_id != 0) {
+    by_subscription_.erase(target.subscription_id);
+    matcher_->Unsubscribe(target.subscription_id);
+  }
+  std::string start = index::EntityKeyPrefixForCollection(
+      target.database_id, target.query.CollectionPath());
+  std::string limit = PrefixSuccessor(start);
+  target.ranges = ranges_->RangesCovering(start, limit);
+  target.subscription_id = next_id_++;
+  by_subscription_[target.subscription_id] = id;
+  matcher_->Subscribe(
+      target.subscription_id, target.database_id, target.query,
+      target.ranges,
+      [this](uint64_t sub, const rtcache::RangeEvent& event) {
+        OnRangeEvent(sub, event);
+      });
+
+  QuerySnapshot snapshot;
+  snapshot.snapshot_ts = target.max_commit_version;
+  snapshot.is_reset = true;
+  snapshot.documents = initial.result.documents;
+  for (const Document& doc : snapshot.documents) {
+    snapshot.changes.push_back({ChangeKind::kAdded, doc});
+  }
+  return snapshot;
+}
+
+void Frontend::OnRangeEvent(uint64_t subscription_id,
+                            const rtcache::RangeEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sub = by_subscription_.find(subscription_id);
+  if (sub == by_subscription_.end()) return;  // already unsubscribed
+  auto it = targets_.find(sub->second);
+  if (it == targets_.end()) return;
+  Target& target = it->second;
+  switch (event.type) {
+    case rtcache::RangeEvent::Type::kChange:
+      // Updates at or before the initial snapshot are already reflected.
+      if (event.ts <= target.max_commit_version) return;
+      target.pending.emplace(event.ts, event.change);
+      break;
+    case rtcache::RangeEvent::Type::kWatermark: {
+      Timestamp& wm = target.watermarks[event.range];
+      wm = std::max(wm, event.ts);
+      break;
+    }
+    case rtcache::RangeEvent::Type::kOutOfSync:
+      target.needs_reset = true;
+      break;
+  }
+}
+
+Timestamp Frontend::RangeWatermarkLocked(const Target& target) const {
+  Timestamp wm = spanner::kMaxTimestamp;
+  for (rtcache::RangeId r : target.ranges) {
+    auto it = target.watermarks.find(r);
+    Timestamp range_wm = it == target.watermarks.end() ? 0 : it->second;
+    wm = std::min(wm, range_wm);
+  }
+  return wm;
+}
+
+QuerySnapshot Frontend::BuildSnapshotLocked(Target& target, Timestamp t) {
+  // Apply pending changes with commit ts <= t in timestamp order, tracking
+  // the net effect per document.
+  QuerySnapshot snapshot;
+  snapshot.snapshot_ts = t;
+  std::map<std::string, DocumentChange> net;
+  auto end = target.pending.upper_bound(t);
+  for (auto it = target.pending.begin(); it != end; ++it) {
+    net[it->second.name.CanonicalString()] = it->second;
+  }
+  for (auto& [name, change] : net) {
+    auto existing = target.results.find(name);
+    bool was_present = existing != target.results.end();
+    bool now_matches =
+        change.new_doc.has_value() && target.query.Matches(*change.new_doc);
+    if (now_matches) {
+      SnapshotChange delta;
+      delta.kind = was_present ? ChangeKind::kModified : ChangeKind::kAdded;
+      delta.doc = *change.new_doc;
+      // Suppress no-op modifications (same contents).
+      if (!was_present || !(existing->second == *change.new_doc)) {
+        snapshot.changes.push_back(std::move(delta));
+      }
+      target.results[name] = *change.new_doc;
+    } else if (was_present) {
+      SnapshotChange delta;
+      delta.kind = ChangeKind::kRemoved;
+      delta.doc = existing->second;
+      snapshot.changes.push_back(std::move(delta));
+      target.results.erase(existing);
+    }
+  }
+  target.pending.erase(target.pending.begin(), end);
+  target.max_commit_version = t;
+  snapshot.documents.reserve(target.results.size());
+  for (auto& [name, doc] : target.results) snapshot.documents.push_back(doc);
+  std::sort(snapshot.documents.begin(), snapshot.documents.end(),
+            [&](const Document& a, const Document& b) {
+              return target.query.Compare(a, b) < 0;
+            });
+  return snapshot;
+}
+
+void Frontend::Pump() {
+  // Deliveries are collected under the lock and fired outside it.
+  std::vector<std::pair<SnapshotCallback, QuerySnapshot>> deliveries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // 1. Resets: out-of-sync targets and limit/offset targets with pending
+    //    relevant changes re-run their initial snapshot.
+    for (auto& [id, target] : targets_) {
+      if (!target.needs_reset && !target.delta_capable &&
+          !target.pending.empty()) {
+        // Only reset when the pending changes are complete enough to have
+        // been deliverable (otherwise we may reset repeatedly).
+        if (RangeWatermarkLocked(target) >= target.pending.begin()->first) {
+          target.needs_reset = true;
+        }
+      }
+      if (!target.needs_reset) continue;
+      ++resets_;
+      StatusOr<QuerySnapshot> snapshot = ResetTargetLocked(id, target);
+      if (!snapshot.ok()) {
+        // Initial query failed (e.g. rules changed): drop the pending state
+        // and retry on the next pump.
+        target.needs_reset = true;
+        continue;
+      }
+      deliveries.emplace_back(target.callback, std::move(*snapshot));
+    }
+    // 2. Connection-consistent incremental snapshots.
+    for (auto& [conn_id, conn] : connections_) {
+      if (conn.targets.empty()) continue;
+      Timestamp t = spanner::kMaxTimestamp;
+      for (TargetId tid : conn.targets) {
+        const Target& target = targets_.at(tid);
+        Timestamp achievable =
+            std::max(target.max_commit_version,
+                     RangeWatermarkLocked(target));
+        t = std::min(t, achievable);
+      }
+      if (t == spanner::kMaxTimestamp) continue;
+      for (TargetId tid : conn.targets) {
+        Target& target = targets_.at(tid);
+        if (target.max_commit_version >= t) continue;
+        if (RangeWatermarkLocked(target) < t) continue;  // cannot advance
+        QuerySnapshot snapshot = BuildSnapshotLocked(target, t);
+        if (!snapshot.changes.empty()) {
+          deliveries.emplace_back(target.callback, std::move(snapshot));
+        }
+      }
+    }
+  }
+  for (auto& [callback, snapshot] : deliveries) {
+    ++snapshots_delivered_;
+    callback(snapshot);
+  }
+}
+
+int Frontend::active_targets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(targets_.size());
+}
+
+}  // namespace firestore::frontend

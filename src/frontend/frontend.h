@@ -1,0 +1,160 @@
+// Frontend tasks (paper §IV-D4): terminate long-lived client connections,
+// obtain initial query snapshots from the Backend, subscribe to the Query
+// Matcher tasks covering each query's result set, and assemble incremental,
+// timestamp-consistent snapshots from the per-range update streams.
+//
+// Consistency rules implemented here:
+//  - a query only advances to timestamp t once every subscribed range's
+//    watermark reaches t (all updates <= t received);
+//  - queries multiplexed on one connection advance together: an update to t
+//    is delivered only when every query on the connection can reach t
+//    (paper: "queries on the same connection are only updated to a
+//    timestamp t once all queries' max-commit-version has reached at
+//    least t");
+//  - an out-of-sync range resets the affected queries: accumulated state is
+//    discarded and the initial-snapshot path re-runs.
+
+#ifndef FIRESTORE_FRONTEND_FRONTEND_H_
+#define FIRESTORE_FRONTEND_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/read_service.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "firestore/query/query.h"
+#include "firestore/rules/rules.h"
+#include "rtcache/changelog.h"
+#include "rtcache/query_matcher.h"
+#include "rtcache/range_ownership.h"
+
+namespace firestore::frontend {
+
+// Per-database state the Frontend needs to serve a query.
+struct TenantAccess {
+  index::IndexCatalog* catalog = nullptr;
+  const rules::RuleSet* rules = nullptr;  // null => privileged access
+};
+
+using TenantResolver =
+    std::function<StatusOr<TenantAccess>(const std::string& database_id)>;
+
+enum class ChangeKind { kAdded, kModified, kRemoved };
+
+struct SnapshotChange {
+  ChangeKind kind = ChangeKind::kAdded;
+  model::Document doc;  // for kRemoved, the last known contents
+};
+
+// One timestamped snapshot of a real-time query (paper §III-C): the delta
+// from the previous snapshot plus the full result for convenience.
+struct QuerySnapshot {
+  spanner::Timestamp snapshot_ts = 0;
+  // True for the initial snapshot and after an out-of-sync reset: `changes`
+  // then lists every current document as kAdded.
+  bool is_reset = false;
+  std::vector<SnapshotChange> changes;
+  std::vector<model::Document> documents;  // full result, query order
+};
+
+using SnapshotCallback = std::function<void(const QuerySnapshot&)>;
+
+class Frontend {
+ public:
+  using ConnectionId = uint64_t;
+  using TargetId = uint64_t;
+
+  Frontend(const Clock* clock, backend::ReadService* reader,
+           rtcache::QueryMatcher* matcher,
+           const rtcache::RangeOwnership* ranges, TenantResolver tenants);
+
+  // Opens a long-lived connection for one end user to one database; the
+  // tenant's security rules authorize every query with this auth context.
+  ConnectionId OpenConnection(const std::string& database_id,
+                              rules::AuthContext auth = {});
+  // Privileged (Server SDK) connection: security rules are bypassed.
+  ConnectionId OpenPrivilegedConnection(const std::string& database_id);
+  void CloseConnection(ConnectionId connection);
+
+  // Registers a real-time query. The initial snapshot is delivered to
+  // `callback` synchronously before Listen returns; incremental snapshots
+  // follow from Pump().
+  StatusOr<TargetId> Listen(ConnectionId connection, query::Query q,
+                            SnapshotCallback callback);
+  Status StopListen(ConnectionId connection, TargetId target);
+
+  // Drains buffered range events and delivers every snapshot that is
+  // consistent under the rules above. Call after Changelog::Tick().
+  void Pump();
+
+  // -- Stats --
+  int64_t snapshots_delivered() const { return snapshots_delivered_.load(); }
+  int64_t resets() const { return resets_.load(); }
+  int active_targets() const;
+
+ private:
+  struct Target {
+    ConnectionId connection = 0;
+    std::string database_id;
+    query::Query query;
+    SnapshotCallback callback;
+    uint64_t subscription_id = 0;
+    std::vector<rtcache::RangeId> ranges;
+    // Snapshot the client has seen (max-commit-version).
+    spanner::Timestamp max_commit_version = 0;
+    // Current result set, keyed by canonical document name.
+    std::map<std::string, model::Document> results;
+    // Buffered relevant changes by commit timestamp.
+    std::multimap<spanner::Timestamp, backend::DocumentChange> pending;
+    // Latest watermark per subscribed range.
+    std::map<rtcache::RangeId, spanner::Timestamp> watermarks;
+    bool needs_reset = false;
+    // Queries with limit/offset are re-run on every relevant change (the
+    // frontend cannot know which document enters a truncated result set).
+    bool delta_capable = true;
+  };
+
+  struct Connection {
+    std::string database_id;
+    rules::AuthContext auth;
+    bool privileged = false;
+    std::vector<TargetId> targets;
+  };
+
+  // Runs the query's initial snapshot and (re)subscribes. Fills result set
+  // and max_commit_version; returns the snapshot to deliver.
+  StatusOr<QuerySnapshot> ResetTargetLocked(TargetId id, Target& target);
+
+  // Min watermark across the target's subscribed ranges.
+  spanner::Timestamp RangeWatermarkLocked(const Target& target) const;
+
+  void OnRangeEvent(uint64_t subscription_id,
+                    const rtcache::RangeEvent& event);
+
+  QuerySnapshot BuildSnapshotLocked(Target& target, spanner::Timestamp t);
+
+  const Clock* clock_;
+  backend::ReadService* reader_;
+  rtcache::QueryMatcher* matcher_;
+  const rtcache::RangeOwnership* ranges_;
+  TenantResolver tenants_;
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::map<ConnectionId, Connection> connections_;
+  std::map<TargetId, Target> targets_;
+  std::map<uint64_t, TargetId> by_subscription_;
+  std::atomic<int64_t> snapshots_delivered_{0};
+  std::atomic<int64_t> resets_{0};
+};
+
+}  // namespace firestore::frontend
+
+#endif  // FIRESTORE_FRONTEND_FRONTEND_H_

@@ -1,0 +1,61 @@
+#include "functions/functions.h"
+
+#include "common/logging.h"
+
+namespace firestore::functions {
+
+void FunctionRegistry::Register(const std::string& function_name,
+                                Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[function_name] = std::move(handler);
+}
+
+void FunctionRegistry::Unregister(const std::string& function_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(function_name);
+}
+
+int FunctionRegistry::DispatchPending(spanner::Database& spanner,
+                                      int max_messages) {
+  int handled = 0;
+  int attempts = 0;
+  while (max_messages == 0 || attempts < max_messages) {
+    std::optional<spanner::QueueMessage> message =
+        spanner.queue().Pop(backend::kTriggerTopic);
+    if (!message.has_value()) break;
+    ++attempts;
+    StatusOr<backend::TriggerEvent> event =
+        backend::TriggerEvent::Parse(message->payload);
+    if (!event.ok()) {
+      FS_LOG(WARNING) << "dropping corrupt trigger message: "
+                      << event.status();
+      continue;
+    }
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = handlers_.find(event->function_name);
+      if (it == handlers_.end()) {
+        FS_LOG(WARNING) << "no handler for function '"
+                        << event->function_name << "', dropping";
+        continue;
+      }
+      handler = it->second;
+    }
+    Status status = handler(*event);
+    if (status.ok()) {
+      ++handled;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++dispatched_;
+    } else {
+      // At-least-once: push the message back for a later attempt.
+      spanner.queue().Push(*message);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++failed_;
+      if (max_messages == 0) break;  // avoid spinning on a poison message
+    }
+  }
+  return handled;
+}
+
+}  // namespace firestore::functions

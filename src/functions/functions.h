@@ -1,0 +1,44 @@
+// Cloud Functions stand-in (paper §III-F): write triggers persist messages
+// on Spanner's transactional queue; this dispatcher drains the queue and
+// invokes the registered handlers with the change delta.
+
+#ifndef FIRESTORE_FUNCTIONS_FUNCTIONS_H_
+#define FIRESTORE_FUNCTIONS_FUNCTIONS_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "backend/committer.h"
+#include "spanner/database.h"
+
+namespace firestore::functions {
+
+// Handler receives the trigger event; returning a non-OK status requeues the
+// message (at-least-once delivery).
+using Handler = std::function<Status(const backend::TriggerEvent&)>;
+
+class FunctionRegistry {
+ public:
+  void Register(const std::string& function_name, Handler handler);
+  void Unregister(const std::string& function_name);
+
+  // Dispatches up to `max_messages` queued trigger events (0 = drain).
+  // Returns the number successfully handled. Events for unregistered
+  // functions are dropped (with a warning), mirroring a deploy race.
+  int DispatchPending(spanner::Database& spanner, int max_messages = 0);
+
+  int64_t dispatched() const { return dispatched_; }
+  int64_t failed() const { return failed_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Handler> handlers_;
+  int64_t dispatched_ = 0;
+  int64_t failed_ = 0;
+};
+
+}  // namespace firestore::functions
+
+#endif  // FIRESTORE_FUNCTIONS_FUNCTIONS_H_

@@ -1,0 +1,206 @@
+#include "rtcache/changelog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "firestore/index/layout.h"
+
+namespace firestore::rtcache {
+
+using backend::DocumentChange;
+using backend::PrepareHandle;
+using backend::WriteOutcome;
+using spanner::Timestamp;
+
+namespace {
+
+// Deferred notifications, fired outside the Changelog lock so that sinks may
+// re-enter the Real-time Cache.
+struct Notifications {
+  struct Release {
+    std::string database_id;
+    RangeId range;
+    Timestamp ts;
+    DocumentChange change;
+  };
+  std::vector<Release> releases;
+  std::vector<std::pair<RangeId, Timestamp>> watermarks;
+  std::vector<RangeId> out_of_sync;
+
+  void FireTo(QueryMatcher* matcher) {
+    for (RangeId r : out_of_sync) matcher->OnOutOfSync(r);
+    for (Release& rel : releases) {
+      matcher->OnDocumentChange(rel.database_id, rel.range, rel.ts,
+                                rel.change);
+    }
+    for (auto& [range, ts] : watermarks) matcher->OnWatermark(range, ts);
+  }
+};
+
+}  // namespace
+
+Changelog::Changelog(const Clock* clock, const RangeOwnership* ranges,
+                     QueryMatcher* matcher)
+    : clock_(clock), ranges_(ranges), matcher_(matcher) {}
+
+Changelog::Changelog(const Clock* clock, const RangeOwnership* ranges,
+                     QueryMatcher* matcher, Options options)
+    : clock_(clock), ranges_(ranges), matcher_(matcher), options_(options) {}
+
+StatusOr<PrepareHandle> Changelog::Prepare(
+    const std::string& database_id,
+    const std::vector<model::ResourcePath>& names,
+    Timestamp max_commit_ts) {
+  if (unavailable_) {
+    return UnavailableError("Changelog unavailable (injected)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++prepares_;
+  std::vector<RangeId> touched;
+  for (const model::ResourcePath& name : names) {
+    RangeId r = ranges_->OwnerOf(index::EntityKey(database_id, name));
+    if (std::find(touched.begin(), touched.end(), r) == touched.end()) {
+      touched.push_back(r);
+    }
+  }
+  // The assigned minimum must exceed every affected range's watermark and
+  // previously assigned minimum (so completeness is monotone), and be at
+  // least the current time.
+  Timestamp m = clock_->NowMicros();
+  for (RangeId r : touched) {
+    RangeState& state = range_states_[r];
+    m = std::max(m, state.last_assigned_min + 1);
+    m = std::max(m, state.watermark + 1);
+  }
+  for (RangeId r : touched) {
+    RangeState& state = range_states_[r];
+    state.last_assigned_min = m;
+    state.outstanding[m] += 1;
+  }
+  PendingPrepare pending;
+  pending.database_id = database_id;
+  pending.min_ts = m;
+  pending.expiry = max_commit_ts + options_.accept_grace;
+  pending.ranges = touched;
+  uint64_t token = next_token_++;
+  pending_.emplace(token, std::move(pending));
+  return PrepareHandle{m, token};
+}
+
+void Changelog::Accept(uint64_t token, WriteOutcome outcome,
+                       Timestamp commit_ts,
+                       const std::vector<DocumentChange>& changes) {
+  Notifications notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++accepts_;
+    auto it = pending_.find(token);
+    if (it == pending_.end()) {
+      // The prepare already expired and its ranges were reset; drop.
+      return;
+    }
+    PendingPrepare pending = std::move(it->second);
+    pending_.erase(it);
+    for (RangeId r : pending.ranges) {
+      RangeState& state = range_states_[r];
+      auto out = state.outstanding.find(pending.min_ts);
+      if (out != state.outstanding.end() && --out->second == 0) {
+        state.outstanding.erase(out);
+      }
+    }
+    switch (outcome) {
+      case WriteOutcome::kFailed:
+        break;  // dropped
+      case WriteOutcome::kUnknown:
+        // Ordering can no longer be guaranteed for these ranges.
+        for (RangeId r : pending.ranges) {
+          MarkOutOfSyncLocked(r);
+          notify.out_of_sync.push_back(r);
+        }
+        break;
+      case WriteOutcome::kSuccess:
+        FS_CHECK_GE(commit_ts, pending.min_ts);
+        for (const DocumentChange& change : changes) {
+          RangeId r = ranges_->OwnerOf(
+              index::EntityKey(pending.database_id, change.name));
+          range_states_[r].buffer.emplace(
+              commit_ts, BufferedChange{pending.database_id, change});
+        }
+        break;
+    }
+    // Releasing may now be possible on the affected ranges.
+    for (RangeId r : pending.ranges) {
+      RangeState& state = range_states_[r];
+      Timestamp releasable = state.outstanding.empty()
+                                 ? state.watermark
+                                 : state.outstanding.begin()->first - 1;
+      while (!state.buffer.empty() &&
+             state.buffer.begin()->first <= releasable) {
+        auto entry = state.buffer.begin();
+        notify.releases.push_back({entry->second.database_id, r,
+                                   entry->first,
+                                   std::move(entry->second.change)});
+        state.buffer.erase(entry);
+        ++mutations_released_;
+      }
+    }
+  }
+  notify.FireTo(matcher_);
+}
+
+void Changelog::Tick() {
+  Notifications notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Timestamp now = clock_->NowMicros();
+    // Expire overdue prepares: their ranges lose ordering guarantees.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.expiry >= now) {
+        ++it;
+        continue;
+      }
+      for (RangeId r : it->second.ranges) {
+        MarkOutOfSyncLocked(r);
+        notify.out_of_sync.push_back(r);
+      }
+      it = pending_.erase(it);
+    }
+    // Advance watermarks and release complete prefixes.
+    for (RangeId r = 0; r < ranges_->num_ranges(); ++r) {
+      RangeState& state = range_states_[r];
+      Timestamp w = state.outstanding.empty()
+                        ? std::max(state.watermark, now)
+                        : std::max(state.watermark,
+                                   state.outstanding.begin()->first - 1);
+      state.watermark = w;
+      while (!state.buffer.empty() && state.buffer.begin()->first <= w) {
+        auto entry = state.buffer.begin();
+        notify.releases.push_back({entry->second.database_id, r,
+                                   entry->first,
+                                   std::move(entry->second.change)});
+        state.buffer.erase(entry);
+        ++mutations_released_;
+      }
+      notify.watermarks.emplace_back(r, w);
+    }
+  }
+  notify.FireTo(matcher_);
+}
+
+void Changelog::MarkOutOfSyncLocked(RangeId range) {
+  RangeState& state = range_states_[range];
+  state.buffer.clear();
+  state.outstanding.clear();
+  state.watermark = clock_->NowMicros();
+  state.last_assigned_min = std::max(state.last_assigned_min,
+                                     state.watermark);
+  ++out_of_sync_events_;
+}
+
+Timestamp Changelog::watermark(RangeId range) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = range_states_.find(range);
+  return it == range_states_.end() ? 0 : it->second.watermark;
+}
+
+}  // namespace firestore::rtcache

@@ -1,0 +1,114 @@
+// In-memory Changelog tasks (paper §IV-D4, Figure 5).
+//
+// The Changelog is the Real-time Cache's 2PC participant for writes. For
+// each document-name range it:
+//  - assigns minimum commit timestamps to Prepares and remembers them,
+//  - on Accept, buffers the committed mutations sorted by timestamp,
+//  - releases mutations to the Query Matcher only up to the range's
+//    completeness watermark (all Prepares with min-ts below it resolved),
+//  - emits heartbeats for idle ranges so Frontends can advance,
+//  - marks a range out-of-sync when a Prepare expires without an Accept or
+//    an Accept reports an unknown outcome.
+
+#ifndef FIRESTORE_RTCACHE_CHANGELOG_H_
+#define FIRESTORE_RTCACHE_CHANGELOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/types.h"
+#include "common/clock.h"
+#include "rtcache/query_matcher.h"
+#include "rtcache/range_ownership.h"
+
+namespace firestore::rtcache {
+
+class Changelog : public backend::RealTimeParticipant {
+ public:
+  struct Options {
+    // Extra grace period after a Prepare's max timestamp before the range
+    // is declared out-of-sync ("the maximum timestamp (plus a small margin)
+    // sets how long the Changelog will wait for the corresponding Accept").
+    Micros accept_grace = 500'000;
+  };
+
+  Changelog(const Clock* clock, const RangeOwnership* ranges,
+            QueryMatcher* matcher);
+  Changelog(const Clock* clock, const RangeOwnership* ranges,
+            QueryMatcher* matcher, Options options);
+
+  // -- RealTimeParticipant --
+  StatusOr<backend::PrepareHandle> Prepare(
+      const std::string& database_id,
+      const std::vector<model::ResourcePath>& names,
+      spanner::Timestamp max_commit_ts) override;
+
+  void Accept(uint64_t token, backend::WriteOutcome outcome,
+              spanner::Timestamp commit_ts,
+              const std::vector<backend::DocumentChange>& changes) override;
+
+  // Heartbeat pump ("Changelog tasks generate a heartbeat every few
+  // milliseconds for every idle key range"): expires overdue Prepares,
+  // advances watermarks, releases complete mutations in timestamp order,
+  // and forwards watermarks to the Query Matcher.
+  void Tick();
+
+  // Fault injection: Prepares fail while unavailable.
+  void set_unavailable(bool unavailable) { unavailable_ = unavailable; }
+
+  spanner::Timestamp watermark(RangeId range) const;
+
+  // -- Stats --
+  int64_t prepares() const { return prepares_; }
+  int64_t accepts() const { return accepts_; }
+  int64_t out_of_sync_events() const { return out_of_sync_events_; }
+  int64_t mutations_released() const { return mutations_released_; }
+
+ private:
+  struct PendingPrepare {
+    std::string database_id;
+    spanner::Timestamp min_ts = 0;
+    spanner::Timestamp expiry = 0;  // max ts + grace
+    std::vector<RangeId> ranges;
+  };
+
+  struct BufferedChange {
+    std::string database_id;
+    backend::DocumentChange change;
+  };
+
+  struct RangeState {
+    // Outstanding prepare min-timestamps (multiset semantics via map
+    // token -> min_ts handled globally; here we track counts per min_ts).
+    std::map<spanner::Timestamp, int> outstanding;  // min_ts -> count
+    // Committed mutations not yet released, sorted by commit timestamp.
+    std::multimap<spanner::Timestamp, BufferedChange> buffer;
+    spanner::Timestamp watermark = 0;
+    spanner::Timestamp last_assigned_min = 0;
+  };
+
+  void MarkOutOfSyncLocked(RangeId range);
+  void ReleaseCompleteLocked(RangeId range);
+
+  const Clock* clock_;
+  const RangeOwnership* ranges_;
+  QueryMatcher* matcher_;
+  Options options_;
+  bool unavailable_ = false;
+
+  mutable std::mutex mu_;
+  uint64_t next_token_ = 1;
+  std::map<uint64_t, PendingPrepare> pending_;
+  std::map<RangeId, RangeState> range_states_;
+  int64_t prepares_ = 0;
+  int64_t accepts_ = 0;
+  int64_t out_of_sync_events_ = 0;
+  int64_t mutations_released_ = 0;
+};
+
+}  // namespace firestore::rtcache
+
+#endif  // FIRESTORE_RTCACHE_CHANGELOG_H_

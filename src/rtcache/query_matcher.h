@@ -1,0 +1,88 @@
+// Query Matcher tasks (paper §IV-D4, Figure 5): hold the real-time queries
+// registered for each document-name range; match every forwarded document
+// update against them and send matches to the subscribing Frontend.
+
+#ifndef FIRESTORE_RTCACHE_QUERY_MATCHER_H_
+#define FIRESTORE_RTCACHE_QUERY_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/types.h"
+#include "firestore/query/query.h"
+#include "rtcache/range_ownership.h"
+#include "spanner/truetime.h"
+
+namespace firestore::rtcache {
+
+// Events flowing from the Real-time Cache to a Frontend subscription.
+struct RangeEvent {
+  enum class Type {
+    kChange,     // a committed document update relevant to the query
+    kWatermark,  // the range's update stream is complete through `ts`
+    kOutOfSync,  // ordering lost; the Frontend must reset the query
+  };
+
+  Type type = Type::kWatermark;
+  RangeId range = 0;
+  spanner::Timestamp ts = 0;
+  backend::DocumentChange change;  // kChange only
+};
+
+using EventSink = std::function<void(uint64_t subscription_id,
+                                     const RangeEvent& event)>;
+
+class QueryMatcher {
+ public:
+  QueryMatcher() = default;
+
+  // Registers a query for matching on `ranges` (the document-name ranges
+  // covering its result set). The Subscribe carries the query itself so only
+  // relevant changes are forwarded (unlike change streams that fan out whole
+  // collections; see paper §VII on MongoDB). Events arrive via `sink`.
+  void Subscribe(uint64_t subscription_id, const std::string& database_id,
+                 const query::Query& q, const std::vector<RangeId>& ranges,
+                 EventSink sink);
+
+  void Unsubscribe(uint64_t subscription_id);
+
+  // -- Feed from the Changelog --
+
+  // A committed change, released in timestamp order per range.
+  void OnDocumentChange(const std::string& database_id, RangeId range,
+                        spanner::Timestamp ts,
+                        const backend::DocumentChange& change);
+
+  // Completeness heartbeat for a range.
+  void OnWatermark(RangeId range, spanner::Timestamp ts);
+
+  void OnOutOfSync(RangeId range);
+
+  // -- Stats --
+  int64_t documents_matched() const { return documents_matched_; }
+  int64_t documents_examined() const { return documents_examined_; }
+  int subscription_count() const;
+
+ private:
+  struct Subscription {
+    std::string database_id;
+    query::Query query;
+    std::vector<RangeId> ranges;
+    EventSink sink;
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Subscription> subscriptions_;
+  // range -> subscription ids registered on it.
+  std::map<RangeId, std::vector<uint64_t>> by_range_;
+  int64_t documents_matched_ = 0;
+  int64_t documents_examined_ = 0;
+};
+
+}  // namespace firestore::rtcache
+
+#endif  // FIRESTORE_RTCACHE_QUERY_MATCHER_H_

@@ -1,0 +1,54 @@
+// Consistent ownership of document-name ranges (paper §IV-D4): "A separate
+// mechanism establishes and shares consistent ownership of document-name
+// ranges to specific Changelog and Query Matcher tasks", load-balanced by
+// the Slicer auto-sharding framework.
+//
+// Ranges partition the multi-tenant Entities key space (database id +
+// encoded document name). Each range is handled by one logical Changelog
+// task and one logical Query Matcher task.
+
+#ifndef FIRESTORE_RTCACHE_RANGE_OWNERSHIP_H_
+#define FIRESTORE_RTCACHE_RANGE_OWNERSHIP_H_
+
+#include <string>
+#include <vector>
+
+namespace firestore::rtcache {
+
+using RangeId = int;
+
+class RangeOwnership {
+ public:
+  // Ranges are defined by sorted split points: range i covers
+  // [points[i-1], points[i]), with unbounded first and last ranges.
+  explicit RangeOwnership(std::vector<std::string> split_points = {});
+
+  // Evenly spreads `n` ranges over the first key byte (a serviceable
+  // stand-in for Slicer's load-based assignment).
+  static RangeOwnership Uniform(int n);
+
+  int num_ranges() const { return static_cast<int>(splits_.size()) + 1; }
+
+  RangeId OwnerOf(const std::string& key) const;
+
+  // All ranges intersecting [start, limit); empty `limit` = unbounded.
+  std::vector<RangeId> RangesCovering(const std::string& start,
+                                      const std::string& limit) const;
+
+  // Re-sharding (Slicer re-balancing): replaces the split points. Callers
+  // (the service) must re-register affected subscriptions and reset
+  // in-flight state, as production Firestore does via the out-of-sync path.
+  void SetSplitPoints(std::vector<std::string> split_points);
+
+  // Current generation; bumped by SetSplitPoints so stale references can be
+  // detected.
+  int64_t generation() const { return generation_; }
+
+ private:
+  std::vector<std::string> splits_;
+  int64_t generation_ = 0;
+};
+
+}  // namespace firestore::rtcache
+
+#endif  // FIRESTORE_RTCACHE_RANGE_OWNERSHIP_H_

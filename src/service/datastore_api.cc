@@ -1,0 +1,100 @@
+#include "service/datastore_api.h"
+
+namespace firestore::datastore {
+
+using backend::Mutation;
+using model::Document;
+using model::ResourcePath;
+
+model::ResourcePath Key::ToResourcePath() const {
+  std::vector<std::string> segments;
+  segments.reserve(path.size() * 2);
+  for (const auto& [kind, name] : path) {
+    segments.push_back(kind);
+    segments.push_back(name);
+  }
+  return ResourcePath(std::move(segments));
+}
+
+StatusOr<Key> Key::FromResourcePath(const ResourcePath& path) {
+  if (!path.IsDocumentPath()) {
+    return InvalidArgumentError("not an entity path: " +
+                                path.CanonicalString());
+  }
+  Key key;
+  const auto& segments = path.segments();
+  for (size_t i = 0; i + 1 < segments.size(); i += 2) {
+    key.path.emplace_back(segments[i], segments[i + 1]);
+  }
+  return key;
+}
+
+spanner::Timestamp DatastoreClient::ReadTimestampFor(
+    ReadConsistency consistency) const {
+  if (consistency == ReadConsistency::kStrong) return 0;  // strong read
+  // Bounded staleness: a recent timestamp strictly before "now", which
+  // Spanner serves lock-free without blocking writers.
+  spanner::Timestamp recent =
+      service_->spanner().last_commit_ts();
+  return recent > 0 ? recent : service_->spanner().StrongReadTimestamp();
+}
+
+Status DatastoreClient::Put(const Entity& entity) {
+  return PutBatch({entity});
+}
+
+Status DatastoreClient::PutBatch(const std::vector<Entity>& entities) {
+  std::vector<Mutation> mutations;
+  mutations.reserve(entities.size());
+  for (const Entity& entity : entities) {
+    mutations.push_back(
+        Mutation::Set(entity.key.ToResourcePath(), entity.properties));
+  }
+  return service_->Commit(database_id_, mutations).status();
+}
+
+StatusOr<std::optional<Entity>> DatastoreClient::Lookup(
+    const Key& key, ReadConsistency consistency) {
+  ASSIGN_OR_RETURN(std::optional<Document> doc,
+                   service_->Get(database_id_, key.ToResourcePath(),
+                                 ReadTimestampFor(consistency)));
+  if (!doc.has_value()) return std::optional<Entity>();
+  Entity entity;
+  entity.key = key;
+  entity.properties = doc->fields();
+  return std::optional<Entity>(std::move(entity));
+}
+
+Status DatastoreClient::Delete(const Key& key) {
+  return service_
+      ->Commit(database_id_, {Mutation::Delete(key.ToResourcePath())})
+      .status();
+}
+
+StatusOr<std::vector<Entity>> DatastoreClient::RunQuery(
+    const query::Query& q, ReadConsistency consistency) {
+  ASSIGN_OR_RETURN(backend::RunQueryResult result,
+                   service_->RunQuery(database_id_, q,
+                                      ReadTimestampFor(consistency)));
+  std::vector<Entity> entities;
+  entities.reserve(result.result.documents.size());
+  for (const Document& doc : result.result.documents) {
+    ASSIGN_OR_RETURN(Key key, Key::FromResourcePath(doc.name()));
+    entities.push_back(Entity{std::move(key), doc.fields()});
+  }
+  return entities;
+}
+
+StatusOr<std::vector<Entity>> DatastoreClient::AncestorQuery(
+    const Key& ancestor, const std::string& kind,
+    ReadConsistency consistency) {
+  query::Query q(ancestor.ToResourcePath(), kind);
+  return RunQuery(q, consistency);
+}
+
+StatusOr<backend::CommitResponse> DatastoreClient::RunTransaction(
+    const TransactionBody& body) {
+  return service_->RunTransaction(database_id_, body);
+}
+
+}  // namespace firestore::datastore

@@ -1,0 +1,98 @@
+// The Datastore API surface (paper §II).
+//
+// "Both Firestore and Datastore have a common data model, and provide
+// similar access to the underlying data — Firestore calls them documents and
+// Datastore calls them entities ... Additionally, both APIs can be used to
+// read from and write to the same database." The Datastore API lacks
+// real-time queries and speaks in entities/kinds/lookups; everything maps
+// onto the same Entities/IndexEntries rows, so a Datastore client and a
+// Firestore client interoperate on one database.
+
+#ifndef FIRESTORE_SERVICE_DATASTORE_API_H_
+#define FIRESTORE_SERVICE_DATASTORE_API_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace firestore::datastore {
+
+// A Datastore key: a kind plus a name, optionally under ancestor keys —
+// directly equivalent to a document path /kind/name[/kind2/name2...].
+struct Key {
+  // Alternating (kind, name) pairs, outermost ancestor first.
+  std::vector<std::pair<std::string, std::string>> path;
+
+  static Key Of(std::string kind, std::string name) {
+    Key k;
+    k.path.emplace_back(std::move(kind), std::move(name));
+    return k;
+  }
+  Key Child(std::string kind, std::string name) const {
+    Key k = *this;
+    k.path.emplace_back(std::move(kind), std::move(name));
+    return k;
+  }
+
+  model::ResourcePath ToResourcePath() const;
+  static StatusOr<Key> FromResourcePath(const model::ResourcePath& path);
+};
+
+// An entity is a key plus properties — the same data a Firestore document
+// holds.
+struct Entity {
+  Key key;
+  model::Map properties;
+};
+
+enum class ReadConsistency {
+  kStrong,
+  // Reads at a slightly stale timestamp (lock-free, cheaper): the Megastore
+  // heritage's "eventual" option, now just a bounded-staleness snapshot.
+  kEventual,
+};
+
+class DatastoreClient {
+ public:
+  DatastoreClient(service::FirestoreService* service, std::string database_id)
+      : service_(service), database_id_(std::move(database_id)) {}
+
+  // -- Entity operations --
+
+  Status Put(const Entity& entity);
+  Status PutBatch(const std::vector<Entity>& entities);  // atomic
+  StatusOr<std::optional<Entity>> Lookup(
+      const Key& key, ReadConsistency consistency = ReadConsistency::kStrong);
+  Status Delete(const Key& key);
+
+  // -- Queries (no real-time; same engine underneath) --
+
+  // A "kind query": all entities of a kind, optionally filtered/sorted via
+  // the standard query builder.
+  StatusOr<std::vector<Entity>> RunQuery(
+      const query::Query& q,
+      ReadConsistency consistency = ReadConsistency::kStrong);
+
+  // Datastore-style ancestor query: entities of `kind` under `ancestor`.
+  StatusOr<std::vector<Entity>> AncestorQuery(
+      const Key& ancestor, const std::string& kind,
+      ReadConsistency consistency = ReadConsistency::kStrong);
+
+  // -- Transactions (server-side, like the Server SDKs) --
+
+  using TransactionBody = backend::Committer::TransactionBody;
+  StatusOr<backend::CommitResponse> RunTransaction(
+      const TransactionBody& body);
+
+ private:
+  spanner::Timestamp ReadTimestampFor(ReadConsistency consistency) const;
+
+  service::FirestoreService* service_;
+  std::string database_id_;
+};
+
+}  // namespace firestore::datastore
+
+#endif  // FIRESTORE_SERVICE_DATASTORE_API_H_

@@ -1,0 +1,97 @@
+#include "service/global_router.h"
+
+namespace firestore::service {
+
+Status GlobalRouter::AddRegion(const std::string& region,
+                               FirestoreService* service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (regions_.count(region) != 0) {
+    return AlreadyExistsError("region exists: " + region);
+  }
+  regions_.emplace(region, service);
+  return Status::Ok();
+}
+
+std::vector<std::string> GlobalRouter::Regions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, service] : regions_) names.push_back(name);
+  return names;
+}
+
+Status GlobalRouter::CreateDatabase(const std::string& database_id,
+                                    const std::string& region,
+                                    DatabaseOptions options) {
+  FirestoreService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = regions_.find(region);
+    if (it == regions_.end()) {
+      return InvalidArgumentError("no such region: " + region);
+    }
+    if (database_region_.count(database_id) != 0) {
+      return AlreadyExistsError("database exists: " + database_id);
+    }
+    service = it->second;
+  }
+  RETURN_IF_ERROR(service->CreateDatabase(database_id, std::move(options)));
+  std::lock_guard<std::mutex> lock(mu_);
+  database_region_.emplace(database_id, region);
+  return Status::Ok();
+}
+
+Status GlobalRouter::DeleteDatabase(const std::string& database_id) {
+  ASSIGN_OR_RETURN(FirestoreService * service, Route(database_id));
+  RETURN_IF_ERROR(service->DeleteDatabase(database_id));
+  std::lock_guard<std::mutex> lock(mu_);
+  database_region_.erase(database_id);
+  return Status::Ok();
+}
+
+StatusOr<std::string> GlobalRouter::RegionOf(
+    const std::string& database_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = database_region_.find(database_id);
+  if (it == database_region_.end()) {
+    return NotFoundError("no such database: " + database_id);
+  }
+  return it->second;
+}
+
+StatusOr<FirestoreService*> GlobalRouter::Route(
+    const std::string& database_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = database_region_.find(database_id);
+  if (it == database_region_.end()) {
+    return NotFoundError("no such database: " + database_id);
+  }
+  ++routed_[it->second];
+  return regions_.at(it->second);
+}
+
+StatusOr<backend::CommitResponse> GlobalRouter::Commit(
+    const std::string& database_id,
+    const std::vector<backend::Mutation>& mutations) {
+  ASSIGN_OR_RETURN(FirestoreService * service, Route(database_id));
+  return service->Commit(database_id, mutations);
+}
+
+StatusOr<std::optional<model::Document>> GlobalRouter::Get(
+    const std::string& database_id, const model::ResourcePath& name) {
+  ASSIGN_OR_RETURN(FirestoreService * service, Route(database_id));
+  return service->Get(database_id, name);
+}
+
+StatusOr<backend::RunQueryResult> GlobalRouter::RunQuery(
+    const std::string& database_id, const query::Query& q) {
+  ASSIGN_OR_RETURN(FirestoreService * service, Route(database_id));
+  return service->RunQuery(database_id, q);
+}
+
+int64_t GlobalRouter::routed(const std::string& region) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = routed_.find(region);
+  return it == routed_.end() ? 0 : it->second;
+}
+
+}  // namespace firestore::service

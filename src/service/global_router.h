@@ -1,0 +1,71 @@
+// Global routing (paper §IV-A): "The Firestore service is available in
+// several geographical regions of the world; a customer picks the location
+// of a database at creation time. ... Firestore RPCs from the application
+// get routed and distributed across the Frontend tasks in the region where
+// the database is located."
+//
+// The GlobalRouter owns the database→region mapping and forwards data-plane
+// calls to the right regional FirestoreService. Clients anywhere in the
+// world talk to the router; only the owning region's tasks touch the data.
+
+#ifndef FIRESTORE_SERVICE_GLOBAL_ROUTER_H_
+#define FIRESTORE_SERVICE_GLOBAL_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace firestore::service {
+
+class GlobalRouter {
+ public:
+  GlobalRouter() = default;
+
+  GlobalRouter(const GlobalRouter&) = delete;
+  GlobalRouter& operator=(const GlobalRouter&) = delete;
+
+  // Registers a region (e.g. "nam5", "eur3"). The router does not own the
+  // service.
+  Status AddRegion(const std::string& region, FirestoreService* service);
+  std::vector<std::string> Regions() const;
+
+  // Creates a database in the chosen region and records the routing entry.
+  Status CreateDatabase(const std::string& database_id,
+                        const std::string& region,
+                        DatabaseOptions options = {});
+  Status DeleteDatabase(const std::string& database_id);
+
+  // Region lookup; NOT_FOUND for unknown databases.
+  StatusOr<std::string> RegionOf(const std::string& database_id) const;
+
+  // The regional service hosting the database — the core routing primitive;
+  // everything below is convenience passthrough.
+  StatusOr<FirestoreService*> Route(const std::string& database_id) const;
+
+  // -- Data-plane passthroughs (privileged) --
+
+  StatusOr<backend::CommitResponse> Commit(
+      const std::string& database_id,
+      const std::vector<backend::Mutation>& mutations);
+  StatusOr<std::optional<model::Document>> Get(
+      const std::string& database_id, const model::ResourcePath& name);
+  StatusOr<backend::RunQueryResult> RunQuery(const std::string& database_id,
+                                             const query::Query& q);
+
+  // Requests routed per region (for balancing/ops visibility).
+  int64_t routed(const std::string& region) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, FirestoreService*> regions_;
+  std::map<std::string, std::string> database_region_;
+  mutable std::map<std::string, int64_t> routed_;
+};
+
+}  // namespace firestore::service
+
+#endif  // FIRESTORE_SERVICE_GLOBAL_ROUTER_H_

@@ -1,0 +1,263 @@
+#include "service/service.h"
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "firestore/index/layout.h"
+
+namespace firestore::service {
+
+using backend::CommitResponse;
+using backend::Mutation;
+using model::Document;
+using model::ResourcePath;
+using spanner::Timestamp;
+
+FirestoreService::FirestoreService(const Clock* clock)
+    : FirestoreService(clock, Options()) {}
+
+FirestoreService::FirestoreService(const Clock* clock, Options options)
+    : clock_(clock),
+      options_(options),
+      spanner_(clock, options.truetime_uncertainty),
+      committer_(&spanner_, clock),
+      reader_(&spanner_),
+      backfill_(&spanner_),
+      ranges_(options.realtime_split_points.empty()
+                  ? rtcache::RangeOwnership::Uniform(options.realtime_ranges)
+                  : rtcache::RangeOwnership(options.realtime_split_points)) {
+  FS_CHECK_OK(spanner_.CreateTable(index::kEntitiesTable));
+  FS_CHECK_OK(spanner_.CreateTable(index::kIndexEntriesTable));
+  changelog_ =
+      std::make_unique<rtcache::Changelog>(clock, &ranges_, &matcher_);
+  committer_.set_realtime(changelog_.get());
+  committer_.set_billing(&billing_);
+  reader_.set_billing(&billing_);
+  frontend_ = std::make_unique<frontend::Frontend>(
+      clock, &reader_, &matcher_, &ranges_,
+      [this](const std::string& db) -> StatusOr<frontend::TenantAccess> {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tenants_.find(db);
+        if (it == tenants_.end()) {
+          return NotFoundError("no such database: " + db);
+        }
+        frontend::TenantAccess access;
+        access.catalog = &it->second->catalog;
+        access.rules = it->second->rules.get();
+        return access;
+      });
+}
+
+Status FirestoreService::CreateDatabase(const std::string& database_id,
+                                        DatabaseOptions options) {
+  if (database_id.empty()) {
+    return InvalidArgumentError("empty database id");
+  }
+  std::unique_ptr<rules::RuleSet> rules;
+  if (!options.rules_source.empty()) {
+    ASSIGN_OR_RETURN(rules::RuleSet parsed,
+                     rules::RuleSet::Parse(options.rules_source));
+    rules = std::make_unique<rules::RuleSet>(std::move(parsed));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.count(database_id) != 0) {
+    return AlreadyExistsError("database exists: " + database_id);
+  }
+  auto tenant = std::make_unique<Tenant>();
+  tenant->options = std::move(options);
+  tenant->rules = std::move(rules);
+  tenants_.emplace(database_id, std::move(tenant));
+  return Status::Ok();
+}
+
+Status FirestoreService::DeleteDatabase(const std::string& database_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tenants_.erase(database_id) == 0) {
+      return NotFoundError("no such database: " + database_id);
+    }
+  }
+  // Physically remove the tenant's rows (both tables share the database-id
+  // prefix).
+  for (const char* table : {index::kEntitiesTable, index::kIndexEntriesTable}) {
+    std::string start = index::EntityKeyPrefixForDatabase(database_id);
+    std::string limit = PrefixSuccessor(start);
+    while (true) {
+      auto txn = spanner_.BeginTransaction();
+      auto rows = txn->Scan(table, start, limit, 256);
+      if (!rows.ok()) return rows.status();
+      if (rows->empty()) {
+        txn->Abort();
+        break;
+      }
+      for (const auto& row : *rows) txn->Delete(table, row.key);
+      auto commit = txn->Commit();
+      if (!commit.ok()) return commit.status();
+      start = KeySuccessor(rows->back().key);
+    }
+  }
+  return Status::Ok();
+}
+
+bool FirestoreService::DatabaseExists(const std::string& database_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.count(database_id) != 0;
+}
+
+std::vector<std::string> FirestoreService::ListDatabases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+StatusOr<FirestoreService::Tenant*> FirestoreService::GetTenant(
+    const std::string& database_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(database_id);
+  if (it == tenants_.end()) {
+    return NotFoundError("no such database: " + database_id);
+  }
+  return it->second.get();
+}
+
+Status FirestoreService::SetRules(const std::string& database_id,
+                                  const std::string& source) {
+  ASSIGN_OR_RETURN(rules::RuleSet parsed, rules::RuleSet::Parse(source));
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  tenant->rules = std::make_unique<rules::RuleSet>(std::move(parsed));
+  return Status::Ok();
+}
+
+Status FirestoreService::AddFieldExemption(const std::string& database_id,
+                                           const std::string& collection_id,
+                                           const model::FieldPath& field) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  tenant->catalog.AddExemption(collection_id, field);
+  return backfill_.RemoveExemptedFieldEntries(tenant->catalog, database_id,
+                                              collection_id, field);
+}
+
+StatusOr<index::IndexId> FirestoreService::CreateCompositeIndex(
+    const std::string& database_id, const std::string& collection_id,
+    std::vector<index::IndexSegment> segments) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  return backfill_.CreateIndex(tenant->catalog, database_id, collection_id,
+                               std::move(segments));
+}
+
+Status FirestoreService::DropIndex(const std::string& database_id,
+                                   index::IndexId id) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  return backfill_.DropIndex(tenant->catalog, database_id, id);
+}
+
+Status FirestoreService::RegisterTrigger(
+    const std::string& database_id, const std::string& function_name,
+    const std::vector<std::string>& pattern) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  backend::TriggerDefinition def;
+  def.function_name = function_name;
+  def.pattern = pattern;
+  tenant->triggers.push_back(std::move(def));
+  return Status::Ok();
+}
+
+StatusOr<CommitResponse> FirestoreService::Commit(
+    const std::string& database_id,
+    const std::vector<Mutation>& mutations) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  return committer_.Commit(database_id, tenant->catalog, mutations,
+                           tenant->triggers);
+}
+
+StatusOr<std::optional<Document>> FirestoreService::Get(
+    const std::string& database_id, const ResourcePath& name,
+    Timestamp read_ts) {
+  RETURN_IF_ERROR(GetTenant(database_id).status());
+  return reader_.GetDocument(database_id, name, read_ts);
+}
+
+StatusOr<backend::RunQueryResult> FirestoreService::RunQuery(
+    const std::string& database_id, const query::Query& q,
+    Timestamp read_ts) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  return reader_.RunQuery(database_id, tenant->catalog, q, read_ts);
+}
+
+StatusOr<backend::RunCountResult> FirestoreService::RunCountQuery(
+    const std::string& database_id, const query::Query& q,
+    Timestamp read_ts) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  return reader_.RunCountQuery(database_id, tenant->catalog, q, read_ts);
+}
+
+StatusOr<backend::RunAggregateResult> FirestoreService::RunSumQuery(
+    const std::string& database_id, const query::Query& q,
+    const model::FieldPath& field, Timestamp read_ts) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  return reader_.RunSumQuery(database_id, tenant->catalog, q, field,
+                             read_ts);
+}
+
+StatusOr<CommitResponse> FirestoreService::RunTransaction(
+    const std::string& database_id,
+    const backend::Committer::TransactionBody& body) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  return committer_.RunTransaction(database_id, tenant->catalog, body,
+                                   tenant->triggers);
+}
+
+StatusOr<CommitResponse> FirestoreService::CommitAsUser(
+    const std::string& database_id, const rules::AuthContext& auth,
+    const std::vector<Mutation>& mutations) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  if (tenant->rules == nullptr) {
+    return PermissionDeniedError(
+        "third-party access requires security rules");
+  }
+  return committer_.Commit(database_id, tenant->catalog, mutations,
+                           tenant->triggers, tenant->rules.get(), &auth);
+}
+
+StatusOr<std::optional<Document>> FirestoreService::GetAsUser(
+    const std::string& database_id, const rules::AuthContext& auth,
+    const ResourcePath& name) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  if (tenant->rules == nullptr) {
+    return PermissionDeniedError(
+        "third-party access requires security rules");
+  }
+  return reader_.GetDocument(database_id, name, 0, tenant->rules.get(),
+                             &auth);
+}
+
+StatusOr<backend::RunQueryResult> FirestoreService::RunQueryAsUser(
+    const std::string& database_id, const rules::AuthContext& auth,
+    const query::Query& q) {
+  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  if (tenant->rules == nullptr) {
+    return PermissionDeniedError(
+        "third-party access requires security rules");
+  }
+  return reader_.RunQuery(database_id, tenant->catalog, q, 0,
+                          tenant->rules.get(), &auth);
+}
+
+index::IndexCatalog* FirestoreService::catalog(
+    const std::string& database_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(database_id);
+  return it == tenants_.end() ? nullptr : &it->second->catalog;
+}
+
+void FirestoreService::Pump() {
+  changelog_->Tick();
+  frontend_->Pump();
+  functions_.DispatchPending(spanner_);
+  spanner_.RunLoadSplitting(/*load_threshold=*/10'000);
+  // MVCC garbage collection up to the retention horizon.
+  Micros horizon = clock_->NowMicros() - options_.version_retention;
+  if (horizon > 0) spanner_.GarbageCollect(horizon);
+}
+
+}  // namespace firestore::service

@@ -1,0 +1,163 @@
+// FirestoreService: the multi-tenant assembly (paper §IV, Figure 4).
+//
+// One FirestoreService instance plays the role of a Firestore region: a
+// small number of pre-initialized Spanner databases shared by every tenant
+// (we model one), the Backend (committer + read service), the Real-time
+// Cache (Changelog + Query Matcher over shared range ownership), Frontend
+// tasks, billing, and the trigger pipeline. Creating a Firestore database
+// is a metadata-only operation — this is what makes "initialize a database
+// and go" serverless provisioning instant (§V-D) and idle databases free.
+
+#ifndef FIRESTORE_SERVICE_SERVICE_H_
+#define FIRESTORE_SERVICE_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/committer.h"
+#include "backend/read_service.h"
+#include "common/clock.h"
+#include "firestore/index/backfill.h"
+#include "frontend/frontend.h"
+#include "functions/functions.h"
+#include "rtcache/changelog.h"
+#include "rtcache/query_matcher.h"
+#include "rtcache/range_ownership.h"
+#include "spanner/database.h"
+
+namespace firestore::service {
+
+struct DatabaseOptions {
+  // Security rules enforced for third-party (end-user) requests; empty =>
+  // deny all third-party access until SetRules is called.
+  std::string rules_source;
+  // Multi-regional deployments pay quorum latency on writes (modeled by the
+  // benchmarks' latency model; recorded here as metadata).
+  bool multi_region = false;
+};
+
+class FirestoreService {
+ public:
+  struct Options {
+    int realtime_ranges = 16;
+    // MVCC version retention (Spanner keeps ~1 hour): Pump() garbage
+    // collects versions older than now - retention. Snapshot reads at or
+    // after the horizon keep working; older reads are out of retention.
+    Micros version_retention = 3'600'000'000;
+    // Non-empty overrides realtime_ranges with explicit split points
+    // (Slicer-style custom sharding; used by tests and benchmarks to place
+    // range boundaries inside a tenant's key space).
+    std::vector<std::string> realtime_split_points;
+    Micros truetime_uncertainty = 1000;
+  };
+
+  explicit FirestoreService(const Clock* clock);
+  FirestoreService(const Clock* clock, Options options);
+
+  FirestoreService(const FirestoreService&) = delete;
+  FirestoreService& operator=(const FirestoreService&) = delete;
+
+  // -- Admin plane --
+
+  Status CreateDatabase(const std::string& database_id,
+                        DatabaseOptions options = {});
+  Status DeleteDatabase(const std::string& database_id);
+  bool DatabaseExists(const std::string& database_id) const;
+  std::vector<std::string> ListDatabases() const;
+
+  Status SetRules(const std::string& database_id, const std::string& source);
+  Status AddFieldExemption(const std::string& database_id,
+                           const std::string& collection_id,
+                           const model::FieldPath& field);
+  StatusOr<index::IndexId> CreateCompositeIndex(
+      const std::string& database_id, const std::string& collection_id,
+      std::vector<index::IndexSegment> segments);
+  Status DropIndex(const std::string& database_id, index::IndexId id);
+
+  Status RegisterTrigger(const std::string& database_id,
+                         const std::string& function_name,
+                         const std::vector<std::string>& pattern);
+
+  // -- Data plane: privileged (Server SDK) --
+
+  StatusOr<backend::CommitResponse> Commit(
+      const std::string& database_id,
+      const std::vector<backend::Mutation>& mutations);
+  StatusOr<std::optional<model::Document>> Get(
+      const std::string& database_id, const model::ResourcePath& name,
+      spanner::Timestamp read_ts = 0);
+  StatusOr<backend::RunQueryResult> RunQuery(const std::string& database_id,
+                                             const query::Query& q,
+                                             spanner::Timestamp read_ts = 0);
+  StatusOr<backend::RunCountResult> RunCountQuery(
+      const std::string& database_id, const query::Query& q,
+      spanner::Timestamp read_ts = 0);
+  StatusOr<backend::RunAggregateResult> RunSumQuery(
+      const std::string& database_id, const query::Query& q,
+      const model::FieldPath& field, spanner::Timestamp read_ts = 0);
+  StatusOr<backend::CommitResponse> RunTransaction(
+      const std::string& database_id,
+      const backend::Committer::TransactionBody& body);
+
+  // -- Data plane: third-party (Mobile/Web SDK; rules enforced) --
+
+  StatusOr<backend::CommitResponse> CommitAsUser(
+      const std::string& database_id, const rules::AuthContext& auth,
+      const std::vector<backend::Mutation>& mutations);
+  StatusOr<std::optional<model::Document>> GetAsUser(
+      const std::string& database_id, const rules::AuthContext& auth,
+      const model::ResourcePath& name);
+  StatusOr<backend::RunQueryResult> RunQueryAsUser(
+      const std::string& database_id, const rules::AuthContext& auth,
+      const query::Query& q);
+
+  // -- Real-time --
+  frontend::Frontend& frontend() { return *frontend_; }
+
+  // Drives the asynchronous machinery one step: Changelog heartbeats,
+  // Frontend snapshot assembly, trigger dispatch, Spanner maintenance.
+  void Pump();
+
+  // -- Introspection --
+  spanner::Database& spanner() { return spanner_; }
+  backend::BillingLedger& billing() { return billing_; }
+  functions::FunctionRegistry& functions() { return functions_; }
+  rtcache::Changelog& changelog() { return *changelog_; }
+  rtcache::QueryMatcher& matcher() { return matcher_; }
+  backend::Committer& committer() { return committer_; }
+  index::IndexCatalog* catalog(const std::string& database_id);
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  struct Tenant {
+    DatabaseOptions options;
+    index::IndexCatalog catalog;
+    std::unique_ptr<rules::RuleSet> rules;
+    std::vector<backend::TriggerDefinition> triggers;
+  };
+
+  StatusOr<Tenant*> GetTenant(const std::string& database_id);
+
+  const Clock* clock_;
+  Options options_;
+  spanner::Database spanner_;
+  backend::BillingLedger billing_;
+  backend::Committer committer_;
+  backend::ReadService reader_;
+  index::IndexBackfillService backfill_;
+  rtcache::RangeOwnership ranges_;
+  rtcache::QueryMatcher matcher_;
+  std::unique_ptr<rtcache::Changelog> changelog_;
+  std::unique_ptr<frontend::Frontend> frontend_;
+  functions::FunctionRegistry functions_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace firestore::service
+
+#endif  // FIRESTORE_SERVICE_SERVICE_H_

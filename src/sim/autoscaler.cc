@@ -1,0 +1,49 @@
+#include "sim/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace firestore::sim {
+
+void Autoscaler::Start() {
+  sim_->After(options_.interval, [this] { Evaluate(); });
+}
+
+void Autoscaler::Evaluate() {
+  double queue_per_worker =
+      static_cast<double>(server_->queue_depth()) /
+      std::max(1, server_->workers());
+  if (queue_per_worker > options_.scale_up_queue_per_worker) {
+    ++over_threshold_streak_;
+    idle_streak_ = 0;
+    if (over_threshold_streak_ >= options_.samples_before_scale) {
+      int target = std::min<int>(
+          options_.max_workers,
+          static_cast<int>(std::ceil(server_->workers() *
+                                     options_.scale_factor)));
+      if (target > server_->workers()) {
+        server_->SetWorkers(target);
+        ++scale_ups_;
+      }
+      over_threshold_streak_ = 0;
+    }
+  } else if (server_->queue_depth() == 0) {
+    over_threshold_streak_ = 0;
+    ++idle_streak_;
+    // Scale down slowly after sustained idleness.
+    if (idle_streak_ >= options_.samples_before_scale * 4 &&
+        server_->workers() > options_.min_workers) {
+      server_->SetWorkers(std::max(
+          options_.min_workers,
+          static_cast<int>(server_->workers() / options_.scale_factor)));
+      ++scale_downs_;
+      idle_streak_ = 0;
+    }
+  } else {
+    over_threshold_streak_ = 0;
+    idle_streak_ = 0;
+  }
+  sim_->After(options_.interval, [this] { Evaluate(); });
+}
+
+}  // namespace firestore::sim

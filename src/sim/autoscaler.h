@@ -1,0 +1,53 @@
+// Autoscaling for CpuServer pools (paper §IV-C: "all components build on
+// Google's auto-scaling infrastructure, so the number of tasks in a given
+// component adjusts in response to load", with deliberate delays because
+// "short-lived traffic spikes do not merit auto-scaling").
+
+#ifndef FIRESTORE_SIM_AUTOSCALER_H_
+#define FIRESTORE_SIM_AUTOSCALER_H_
+
+#include "sim/cpu_server.h"
+#include "sim/simulation.h"
+
+namespace firestore::sim {
+
+class Autoscaler {
+ public:
+  struct Options {
+    int min_workers = 1;
+    int max_workers = 1024;
+    // Sampling cadence.
+    Micros interval = 1'000'000;
+    // Scale up when queued jobs per worker exceed this.
+    double scale_up_queue_per_worker = 2.0;
+    // Multiplier per scale-up step.
+    double scale_factor = 1.5;
+    // Consecutive over-threshold samples required before scaling (the
+    // reaction delay that makes rapid ramps briefly painful, §V-B1).
+    int samples_before_scale = 2;
+  };
+
+  Autoscaler(Simulation* sim, CpuServer* server, Options options)
+      : sim_(sim), server_(server), options_(options) {}
+
+  // Begins periodic evaluation; runs for the lifetime of the simulation.
+  void Start();
+
+  int scale_ups() const { return scale_ups_; }
+  int scale_downs() const { return scale_downs_; }
+
+ private:
+  void Evaluate();
+
+  Simulation* sim_;
+  CpuServer* server_;
+  Options options_;
+  int over_threshold_streak_ = 0;
+  int idle_streak_ = 0;
+  int scale_ups_ = 0;
+  int scale_downs_ = 0;
+};
+
+}  // namespace firestore::sim
+
+#endif  // FIRESTORE_SIM_AUTOSCALER_H_

@@ -1,0 +1,78 @@
+// Latency model for the simulated deployment.
+//
+// Calibrated loosely against the public shape of Firestore latencies: a
+// regional deployment commits in a few milliseconds; the nam5 multi-region
+// used in the paper's benchmarks pays a replication quorum across sites, so
+// strong reads land around ~15 ms and commits around ~35 ms, growing with
+// two-phase-commit participants and payload size. Values are medians of a
+// lognormal jitter distribution; absolute numbers are not the point — the
+// paper reports trends, not axes (§V).
+
+#ifndef FIRESTORE_SIM_LATENCY_MODEL_H_
+#define FIRESTORE_SIM_LATENCY_MODEL_H_
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace firestore::sim {
+
+class LatencyModel {
+ public:
+  struct Options {
+    bool multi_region = true;
+    // Medians (micros).
+    Micros rpc_hop = 500;              // client<->frontend<->backend hop
+    Micros spanner_read_regional = 1'500;
+    Micros spanner_read_multi = 9'000;
+    Micros spanner_commit_regional = 4'000;
+    Micros spanner_commit_multi = 26'000;
+    // Extra per additional 2PC participant tablet.
+    Micros per_participant = 2'500;
+    // Extra per KiB of commit payload (replication bandwidth).
+    Micros per_payload_kib = 18;
+    // Extra per index entry written (fanout to IndexEntries tablets).
+    Micros per_index_entry = 60;
+    // Lognormal sigma for jitter (tail heaviness).
+    double sigma = 0.25;
+  };
+
+  LatencyModel() = default;
+  explicit LatencyModel(Options options) : options_(options) {}
+
+  Micros RpcHop(Rng& rng) const { return Jitter(rng, options_.rpc_hop); }
+
+  Micros SpannerStrongRead(Rng& rng) const {
+    return Jitter(rng, options_.multi_region
+                           ? options_.spanner_read_multi
+                           : options_.spanner_read_regional);
+  }
+
+  // Commit latency as a function of the work the engine actually did.
+  Micros SpannerCommit(Rng& rng, int participants, int64_t payload_bytes,
+                       int64_t index_entries) const {
+    Micros base = options_.multi_region ? options_.spanner_commit_multi
+                                        : options_.spanner_commit_regional;
+    base += options_.per_participant *
+            std::max(0, participants - 1);
+    base += options_.per_payload_kib * (payload_bytes / 1024);
+    base += options_.per_index_entry * index_entries;
+    return Jitter(rng, base);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Micros Jitter(Rng& rng, Micros median) const {
+    if (median <= 0) return 0;
+    double factor = rng.LogNormal(0.0, options_.sigma);
+    return static_cast<Micros>(static_cast<double>(median) * factor);
+  }
+
+  Options options_;
+};
+
+}  // namespace firestore::sim
+
+#endif  // FIRESTORE_SIM_LATENCY_MODEL_H_

@@ -1,0 +1,25 @@
+#include "sim/simulation.h"
+
+namespace firestore::sim {
+
+void Simulation::ScheduleAt(Micros at, std::function<void()> fn) {
+  FS_CHECK_GE(at, now());
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulation::Run(Micros until) {
+  while (!events_.empty()) {
+    // Copy out the top event; priority_queue::top() is const.
+    const Event& top = events_.top();
+    if (until > 0 && top.at > until) break;
+    Micros at = top.at;
+    std::function<void()> fn = std::move(const_cast<Event&>(top).fn);
+    events_.pop();
+    clock_.AdvanceTo(at);
+    ++events_processed_;
+    fn();
+  }
+  if (until > 0 && clock_.NowMicros() < until) clock_.AdvanceTo(until);
+}
+
+}  // namespace firestore::sim

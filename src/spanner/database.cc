@@ -1,0 +1,258 @@
+#include "spanner/database.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace firestore::spanner {
+
+namespace {
+constexpr char kLockSeparator = '\x1f';
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReadWriteTransaction
+
+ReadWriteTransaction::~ReadWriteTransaction() {
+  if (!finished_) Abort();
+}
+
+std::string ReadWriteTransaction::LockKey(const std::string& table,
+                                          const Key& key) const {
+  std::string result = table;
+  result.push_back(kLockSeparator);
+  result.append(key);
+  return result;
+}
+
+StatusOr<RowValue> ReadWriteTransaction::Read(const std::string& table,
+                                              const Key& key, LockMode mode,
+                                              Timestamp* version) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  if (version != nullptr) *version = 0;
+  RETURN_IF_ERROR(db_->lock_manager_.Acquire(id_, LockKey(table, key), mode,
+                                             db_->lock_timeout_ms_));
+  // Read-your-writes.
+  auto tit = writes_.find(table);
+  if (tit != writes_.end()) {
+    auto wit = tit->second.find(key);
+    if (wit != tit->second.end()) return wit->second;
+  }
+  std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+  auto table_it = db_->tables_.find(table);
+  if (table_it == db_->tables_.end()) {
+    return NotFoundError("no such table: " + table);
+  }
+  return table_it->second->ReadAt(key, kMaxTimestamp, version);
+}
+
+StatusOr<std::vector<ScanRow>> ReadWriteTransaction::Scan(
+    const std::string& table, const Key& start, const Key& limit,
+    int64_t max_rows) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  std::vector<ScanRow> rows;
+  {
+    std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    auto table_it = db_->tables_.find(table);
+    if (table_it == db_->tables_.end()) {
+      return NotFoundError("no such table: " + table);
+    }
+    table_it->second->ScanAt(start, limit, kMaxTimestamp,
+                             [&](const Key& k, const std::string& v,
+                                 Timestamp ver) {
+                               rows.push_back({k, v, ver});
+                               return max_rows == 0 ||
+                                      static_cast<int64_t>(rows.size()) <
+                                          max_rows;
+                             });
+  }
+  // Merge this transaction's buffered writes within the range.
+  auto tit = writes_.find(table);
+  if (tit != writes_.end()) {
+    for (const auto& [k, v] : tit->second) {
+      if (k < start || (!limit.empty() && k >= limit)) continue;
+      auto pos = std::lower_bound(
+          rows.begin(), rows.end(), k,
+          [](const ScanRow& r, const Key& key) { return r.key < key; });
+      if (pos != rows.end() && pos->key == k) {
+        if (v.has_value()) {
+          pos->value = *v;
+        } else {
+          rows.erase(pos);
+        }
+      } else if (v.has_value()) {
+        rows.insert(pos, {k, *v, 0});
+      }
+    }
+    if (max_rows > 0 && static_cast<int64_t>(rows.size()) > max_rows) {
+      rows.resize(max_rows);
+    }
+  }
+  // 2PL: lock the rows the scan observed.
+  for (const ScanRow& row : rows) {
+    RETURN_IF_ERROR(db_->lock_manager_.Acquire(id_, LockKey(table, row.key),
+                                               LockMode::kShared,
+                                               db_->lock_timeout_ms_));
+  }
+  return rows;
+}
+
+void ReadWriteTransaction::Put(const std::string& table, const Key& key,
+                               std::string value) {
+  writes_[table][key] = std::move(value);
+}
+
+void ReadWriteTransaction::Delete(const std::string& table, const Key& key) {
+  writes_[table][key] = std::nullopt;
+}
+
+void ReadWriteTransaction::AddMessage(const std::string& topic,
+                                      std::string payload) {
+  messages_.push_back(QueueMessage{topic, std::move(payload), 0});
+}
+
+StatusOr<CommitResult> ReadWriteTransaction::Commit(Timestamp min_allowed,
+                                                    Timestamp max_allowed) {
+  if (finished_) return FailedPreconditionError("transaction finished");
+  if (db_->lock_manager_.IsWounded(id_)) {
+    Abort();
+    return AbortedError("transaction wounded by an older transaction");
+  }
+  // Acquire exclusive locks on the write set (paper §IV-D2 step 6: "Spanner
+  // acquires additional exclusive locks on the specific IndexEntries rows").
+  for (const auto& [table, keys] : writes_) {
+    for (const auto& [key, value] : keys) {
+      (void)value;
+      Status s = db_->lock_manager_.Acquire(
+          id_, LockKey(table, key), LockMode::kExclusive,
+          db_->lock_timeout_ms_);
+      if (!s.ok()) {
+        Abort();
+        return s;
+      }
+    }
+  }
+  CommitResult result;
+  {
+    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    StatusOr<Timestamp> ts = db_->oracle_.Allocate(min_allowed, max_allowed);
+    if (!ts.ok()) {
+      data_lock.unlock();
+      Abort();
+      return ts.status();
+    }
+    result.commit_ts = *ts;
+    for (const auto& [table, keys] : writes_) {
+      auto table_it = db_->tables_.find(table);
+      if (table_it == db_->tables_.end()) {
+        data_lock.unlock();
+        Abort();
+        return NotFoundError("no such table: " + table);
+      }
+      std::vector<Key> key_list;
+      key_list.reserve(keys.size());
+      for (const auto& [key, value] : keys) key_list.push_back(key);
+      result.participants +=
+          table_it->second->ParticipantCount(key_list);
+      for (const auto& [key, value] : keys) {
+        table_it->second->Apply(key, value, *ts);
+      }
+    }
+  }
+  for (QueueMessage& m : messages_) {
+    m.commit_ts = result.commit_ts;
+    db_->queue_.Push(std::move(m));
+  }
+  finished_ = true;
+  db_->lock_manager_.ReleaseAll(id_);
+  return result;
+}
+
+void ReadWriteTransaction::Abort() {
+  finished_ = true;
+  db_->lock_manager_.ReleaseAll(id_);
+  writes_.clear();
+  messages_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Database
+
+Database::Database(const Clock* clock, Micros truetime_uncertainty)
+    : clock_(clock),
+      truetime_(clock, truetime_uncertainty),
+      oracle_(clock) {}
+
+Status Database::CreateTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  if (tables_.count(name) != 0) {
+    return AlreadyExistsError("table exists: " + name);
+  }
+  tables_.emplace(name, std::make_unique<Table>(name));
+  return Status::Ok();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<ReadWriteTransaction> Database::BeginTransaction() {
+  TxnId id = next_txn_id_.fetch_add(1);
+  return std::unique_ptr<ReadWriteTransaction>(
+      new ReadWriteTransaction(this, id));
+}
+
+StatusOr<RowValue> Database::SnapshotRead(const std::string& table,
+                                          const Key& key, Timestamp ts,
+                                          Timestamp* version) const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return NotFoundError("no such table: " + table);
+  return it->second->ReadAt(key, ts, version);
+}
+
+StatusOr<std::vector<ScanRow>> Database::SnapshotScan(
+    const std::string& table, const Key& start, const Key& limit,
+    Timestamp ts, int64_t max_rows) const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return NotFoundError("no such table: " + table);
+  std::vector<ScanRow> rows;
+  it->second->ScanAt(start, limit, ts,
+                     [&](const Key& k, const std::string& v, Timestamp ver) {
+                       rows.push_back({k, v, ver});
+                       return max_rows == 0 ||
+                              static_cast<int64_t>(rows.size()) < max_rows;
+                     });
+  return rows;
+}
+
+int Database::RunLoadSplitting(int64_t load_threshold) {
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  int splits = 0;
+  for (auto& [name, table] : tables_) {
+    (void)name;
+    splits += table->MaybeSplit(load_threshold);
+  }
+  return splits;
+}
+
+int64_t Database::GarbageCollect(Timestamp horizon) {
+  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  int64_t dropped = 0;
+  for (auto& [name, table] : tables_) {
+    (void)name;
+    dropped += table->GarbageCollect(horizon);
+  }
+  return dropped;
+}
+
+}  // namespace firestore::spanner

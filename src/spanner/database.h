@@ -1,0 +1,163 @@
+// The Spanner database facade: tables, transactions, snapshot reads,
+// directories, and the transactional message queue.
+//
+// Firestore maps each logical database to a directory (a key prefix guiding
+// sharding/placement) within a small number of pre-initialized Spanner
+// databases per region (paper §IV-D1). One spanner::Database instance here
+// plays the role of one of those regional Spanner databases, hosting many
+// Firestore tenants.
+
+#ifndef FIRESTORE_SPANNER_DATABASE_H_
+#define FIRESTORE_SPANNER_DATABASE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "spanner/lock_manager.h"
+#include "spanner/message_queue.h"
+#include "spanner/storage.h"
+#include "spanner/truetime.h"
+
+namespace firestore::spanner {
+
+class Database;
+
+struct ScanRow {
+  Key key;
+  std::string value;
+  Timestamp version = 0;  // commit timestamp of the returned version
+};
+
+struct CommitResult {
+  Timestamp commit_ts = 0;
+  // Number of distinct tablets written (2PC participants), for latency
+  // modeling: a multi-tablet commit pays the two-phase-commit cost.
+  int participants = 0;
+};
+
+// A lock-based read-write transaction (Spanner semantics: 2PL for reads,
+// exclusive locks on written rows acquired at commit, commit timestamp from
+// the oracle within a caller-supplied window).
+class ReadWriteTransaction {
+ public:
+  ~ReadWriteTransaction();
+
+  ReadWriteTransaction(const ReadWriteTransaction&) = delete;
+  ReadWriteTransaction& operator=(const ReadWriteTransaction&) = delete;
+
+  TxnId id() const { return id_; }
+
+  // Reads the latest committed value, taking a shared (or exclusive) lock.
+  // Sees this transaction's own buffered writes (their version reads as 0).
+  // `version` (optional) receives the version's commit timestamp.
+  StatusOr<RowValue> Read(const std::string& table, const Key& key,
+                          LockMode mode = LockMode::kShared,
+                          Timestamp* version = nullptr);
+
+  // Scans latest committed rows in [start, limit), taking shared locks on
+  // every returned row. `max_rows` of 0 means unlimited. Buffered writes of
+  // this transaction are merged into the result.
+  StatusOr<std::vector<ScanRow>> Scan(const std::string& table,
+                                      const Key& start, const Key& limit,
+                                      int64_t max_rows = 0);
+
+  // Buffers a write / delete. Locks are acquired during Commit.
+  void Put(const std::string& table, const Key& key, std::string value);
+  void Delete(const std::string& table, const Key& key);
+
+  // Buffers a transactional message (delivered iff the commit succeeds).
+  void AddMessage(const std::string& topic, std::string payload);
+
+  // Two-phase commit: acquires exclusive locks on the write set, allocates a
+  // timestamp in [min_allowed, max_allowed], applies atomically. On error
+  // the transaction is fully rolled back and unusable.
+  StatusOr<CommitResult> Commit(Timestamp min_allowed = 0,
+                                Timestamp max_allowed = kMaxTimestamp);
+
+  void Abort();
+
+ private:
+  friend class Database;
+  ReadWriteTransaction(Database* db, TxnId id) : db_(db), id_(id) {}
+
+  std::string LockKey(const std::string& table, const Key& key) const;
+
+  Database* db_;
+  TxnId id_;
+  bool finished_ = false;
+  // table -> key -> value-or-tombstone
+  std::map<std::string, std::map<Key, RowValue>> writes_;
+  std::vector<QueueMessage> messages_;
+};
+
+class Database {
+ public:
+  explicit Database(const Clock* clock, Micros truetime_uncertainty = 1000);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Table management. Creating an existing table is an error.
+  Status CreateTable(const std::string& name);
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  std::unique_ptr<ReadWriteTransaction> BeginTransaction();
+
+  // Lock-free timestamped reads (paper §IV-D1: "the serializability
+  // guarantee on timestamps allows Firestore to perform lock-free consistent
+  // reads across a database without blocking writes").
+  StatusOr<RowValue> SnapshotRead(const std::string& table, const Key& key,
+                                  Timestamp ts,
+                                  Timestamp* version = nullptr) const;
+  StatusOr<std::vector<ScanRow>> SnapshotScan(const std::string& table,
+                                              const Key& start,
+                                              const Key& limit, Timestamp ts,
+                                              int64_t max_rows = 0) const;
+
+  // Timestamp for a strongly-consistent read of current data.
+  Timestamp StrongReadTimestamp() const {
+    return oracle_.StrongReadTimestamp();
+  }
+  Timestamp last_commit_ts() const { return oracle_.last_allocated(); }
+
+  const TrueTime& truetime() const { return truetime_; }
+  MessageQueue& queue() { return queue_; }
+  LockManager& lock_manager() { return lock_manager_; }
+
+  // Background maintenance: load-based tablet splitting across all tables.
+  // Returns splits performed.
+  int RunLoadSplitting(int64_t load_threshold);
+
+  // MVCC garbage collection of versions older than `horizon`.
+  int64_t GarbageCollect(Timestamp horizon);
+
+  // Lock wait timeout applied to transactional reads/commits.
+  void set_lock_timeout_ms(int64_t ms) { lock_timeout_ms_ = ms; }
+
+ private:
+  friend class ReadWriteTransaction;
+
+  const Clock* clock_;
+  TrueTime truetime_;
+  TimestampOracle oracle_;
+  LockManager lock_manager_;
+  MessageQueue queue_;
+  std::atomic<TxnId> next_txn_id_{1};
+  int64_t lock_timeout_ms_ = 2000;
+
+  // Guards table structure and row data: commits take it exclusively,
+  // snapshot reads take it shared.
+  mutable std::shared_mutex data_mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace firestore::spanner
+
+#endif  // FIRESTORE_SPANNER_DATABASE_H_

@@ -1,0 +1,97 @@
+#include "spanner/lock_manager.h"
+
+#include <chrono>
+
+namespace firestore::spanner {
+
+bool LockManager::Compatible(const LockState& state, TxnId txn,
+                             LockMode mode) {
+  for (const auto& [holder, held_mode] : state.holders) {
+    if (holder == txn) continue;  // own locks never conflict
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
+                            int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (wounded_.count(txn) != 0) {
+      return AbortedError("transaction wounded by an older transaction");
+    }
+    LockState& state = locks_[key];
+    auto self = state.holders.find(txn);
+    if (self != state.holders.end()) {
+      if (self->second == LockMode::kExclusive ||
+          mode == LockMode::kShared) {
+        return Status::Ok();  // already sufficient
+      }
+      // Upgrade shared -> exclusive: falls through to the conflict check.
+    }
+    if (Compatible(state, txn, mode)) {
+      state.holders[txn] = (self != state.holders.end() &&
+                            mode == LockMode::kShared)
+                               ? self->second
+                               : mode;
+      held_[txn].insert(key);
+      return Status::Ok();
+    }
+    // Wound-wait: wound every younger conflicting holder, then wait.
+    bool wounded_someone = false;
+    for (const auto& [holder, held_mode] : state.holders) {
+      (void)held_mode;
+      if (holder == txn) continue;
+      if (holder > txn) {  // younger
+        wounded_.insert(holder);
+        wounded_someone = true;
+      }
+    }
+    if (wounded_someone) cv_.notify_all();
+    if (timeout_ms > 0) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return DeadlineExceededError("lock wait timeout");
+      }
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  if (it != held_.end()) {
+    for (const std::string& key : it->second) {
+      auto lit = locks_.find(key);
+      if (lit == locks_.end()) continue;
+      lit->second.holders.erase(txn);
+      if (lit->second.holders.empty()) locks_.erase(lit);
+    }
+    held_.erase(it);
+  }
+  wounded_.erase(txn);
+  cv_.notify_all();
+}
+
+void LockManager::Wound(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wounded_.insert(txn);
+  cv_.notify_all();
+}
+
+bool LockManager::IsWounded(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wounded_.count(txn) != 0;
+}
+
+int LockManager::LockCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(locks_.size());
+}
+
+}  // namespace firestore::spanner

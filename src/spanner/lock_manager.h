@@ -1,0 +1,66 @@
+// Row-granular two-phase locking with wound-wait deadlock avoidance.
+//
+// Spanner transactions "are lock-based and use two-phase-commits across
+// tablets" (paper §IV-D1); contention between Firestore transactional
+// queries and writes is resolved "by failing and retrying such transactions"
+// (§IV-D3). Wound-wait gives us deadlock freedom with deterministic victim
+// selection: an older transaction requesting a lock held by a younger one
+// wounds (aborts) the younger; a younger requester waits for the older.
+
+#ifndef FIRESTORE_SPANNER_LOCK_MANAGER_H_
+#define FIRESTORE_SPANNER_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace firestore::spanner {
+
+using TxnId = uint64_t;  // monotonically increasing; lower id == older
+
+enum class LockMode { kShared, kExclusive };
+
+class LockManager {
+ public:
+  // Blocks until the lock is granted, the transaction is wounded, or
+  // `timeout_ms` elapses (0 = no timeout). Keys are namespaced by table via
+  // the caller ("table/key"). Re-entrant: upgrading shared->exclusive is
+  // supported and subject to the same wound-wait rules.
+  Status Acquire(TxnId txn, const std::string& key, LockMode mode,
+                 int64_t timeout_ms = 0);
+
+  // Releases every lock held by `txn` and clears its wounded flag.
+  void ReleaseAll(TxnId txn);
+
+  // Marks `txn` wounded; its current and future Acquire calls return ABORTED.
+  void Wound(TxnId txn);
+  bool IsWounded(TxnId txn) const;
+
+  // Introspection for tests.
+  int LockCount() const;
+
+ private:
+  struct LockState {
+    // Holders: txn -> mode. Multiple shared holders, or one exclusive.
+    std::map<TxnId, LockMode> holders;
+  };
+
+  // Returns true if `txn` can be granted `mode` on `state` right now.
+  static bool Compatible(const LockState& state, TxnId txn, LockMode mode);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, LockState> locks_;
+  std::set<TxnId> wounded_;
+  std::map<TxnId, std::set<std::string>> held_;  // txn -> keys
+};
+
+}  // namespace firestore::spanner
+
+#endif  // FIRESTORE_SPANNER_LOCK_MANAGER_H_

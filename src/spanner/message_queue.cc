@@ -1,0 +1,25 @@
+#include "spanner/message_queue.h"
+
+namespace firestore::spanner {
+
+void MessageQueue::Push(QueueMessage message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  topics_[message.topic].push_back(std::move(message));
+}
+
+std::optional<QueueMessage> MessageQueue::Pop(const std::string& topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || it->second.empty()) return std::nullopt;
+  QueueMessage message = std::move(it->second.front());
+  it->second.pop_front();
+  return message;
+}
+
+size_t MessageQueue::Size(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.size();
+}
+
+}  // namespace firestore::spanner

@@ -1,0 +1,44 @@
+// Transactional message queue.
+//
+// "Spanner also has a transactional messaging system that allows its user to
+// persist information that can be used to perform asynchronous work"
+// (paper §IV-D2). The Firestore Backend uses it to implement write triggers:
+// messages buffered in a read-write transaction become visible only if the
+// transaction commits, tagged with its commit timestamp.
+
+#ifndef FIRESTORE_SPANNER_MESSAGE_QUEUE_H_
+#define FIRESTORE_SPANNER_MESSAGE_QUEUE_H_
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "spanner/truetime.h"
+
+namespace firestore::spanner {
+
+struct QueueMessage {
+  std::string topic;
+  std::string payload;
+  Timestamp commit_ts = 0;
+};
+
+class MessageQueue {
+ public:
+  void Push(QueueMessage message);
+
+  // Oldest message on `topic`, removed; nullopt if the topic is empty.
+  std::optional<QueueMessage> Pop(const std::string& topic);
+
+  size_t Size(const std::string& topic) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<QueueMessage>> topics_;
+};
+
+}  // namespace firestore::spanner
+
+#endif  // FIRESTORE_SPANNER_MESSAGE_QUEUE_H_

@@ -1,0 +1,145 @@
+#include "ycsb/ycsb.h"
+
+#include "backend/types.h"
+#include "sim/autoscaler.h"
+
+namespace firestore::ycsb {
+
+using backend::Mutation;
+using model::Map;
+using model::ResourcePath;
+using model::Value;
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, uint64_t seed)
+    : spec_(std::move(spec)),
+      rng_(seed),
+      zipf_(static_cast<uint64_t>(spec_.record_count)) {}
+
+OpType WorkloadGenerator::NextOp() {
+  return rng_.Bernoulli(spec_.read_fraction) ? OpType::kRead
+                                             : OpType::kUpdate;
+}
+
+std::string WorkloadGenerator::NextKey() {
+  int64_t id = spec_.zipfian
+                   ? static_cast<int64_t>(zipf_.Next(rng_))
+                   : rng_.Uniform(0, spec_.record_count - 1);
+  return "/usertable/user" + std::to_string(id);
+}
+
+Map WorkloadGenerator::MakeValue() {
+  Map fields;
+  fields["field0"] = Value::String(rng_.AlphaNumString(spec_.value_bytes));
+  return fields;
+}
+
+YcsbRunner::YcsbRunner(WorkloadSpec spec, Options options, uint64_t seed)
+    : spec_(std::move(spec)), options_(options), seed_(seed) {}
+
+RunResult YcsbRunner::RunLevel(double target_qps) {
+  sim::Simulation sim(1'000'000'000);
+  service::FirestoreService service(sim.clock());
+  const std::string db = "projects/bench/databases/ycsb";
+  FS_CHECK_OK(service.CreateDatabase(db));
+
+  WorkloadGenerator gen(spec_, seed_);
+  // Load phase: not measured, no simulated latency.
+  for (int64_t i = 0; i < spec_.record_count; ++i) {
+    std::string path = "/usertable/user" + std::to_string(i);
+    auto result = service.Commit(
+        db, {Mutation::Set(model::ResourcePath::Parse(path).value(),
+                           gen.MakeValue())});
+    FS_CHECK(result.ok());
+  }
+  // Pre-split so commits can span tablets (paper §V-B2 methodology).
+  service.spanner().RunLoadSplitting(/*load_threshold=*/256);
+
+  sim::CpuServer::Options cpu_options;
+  cpu_options.workers = options_.initial_backend_workers;
+  sim::CpuServer backend(&sim, cpu_options);
+  sim::Autoscaler::Options scale_options;
+  scale_options.min_workers = options_.initial_backend_workers;
+  sim::Autoscaler autoscaler(&sim, &backend, scale_options);
+  if (options_.autoscale) autoscaler.Start();
+
+  sim::LatencyModel::Options lat_options;
+  lat_options.multi_region = options_.multi_region;
+  sim::LatencyModel latency(lat_options);
+  Rng lat_rng(seed_ ^ 0x9e3779b97f4a7c15ull);
+
+  RunResult result;
+  result.target_qps = target_qps;
+  const Micros start = sim.now();
+  const Micros measure_from = start + options_.warmup_duration;
+  const Micros end =
+      measure_from + options_.measure_duration;
+  int64_t measured_ops = 0;
+
+  // Open-loop arrivals (exponential inter-arrival at the target rate).
+  std::function<void(Micros)> schedule_next = [&](Micros at) {
+    if (at > end) return;
+    sim.ScheduleAt(at, [&, at] {
+      OpType op = gen.NextOp();
+      std::string key = gen.NextKey();
+      Micros submitted = sim.now();
+      // Client -> Frontend -> Backend hops.
+      Micros ingress = latency.RpcHop(lat_rng) + latency.RpcHop(lat_rng);
+      sim.After(ingress, [&, op, key, submitted] {
+        Micros cpu = op == OpType::kRead ? options_.backend_read_cost
+                                         : options_.backend_update_cost;
+        backend.Submit(db, cpu, [&, op, key, submitted] {
+          // The real engine operation, then the Spanner latency it implies.
+          Micros spanner_lat = 0;
+          if (op == OpType::kRead) {
+            auto doc = service.Get(
+                db, model::ResourcePath::Parse(key).value());
+            FS_CHECK(doc.ok());
+            spanner_lat = latency.SpannerStrongRead(lat_rng);
+          } else {
+            auto commit = service.Commit(
+                db, {Mutation::Set(model::ResourcePath::Parse(key).value(),
+                                   gen.MakeValue())});
+            FS_CHECK(commit.ok());
+            spanner_lat = latency.SpannerCommit(
+                lat_rng, commit->spanner_participants,
+                static_cast<int64_t>(spec_.value_bytes),
+                commit->index_entries_written);
+          }
+          Micros egress = latency.RpcHop(lat_rng) + latency.RpcHop(lat_rng);
+          sim.After(spanner_lat + egress, [&, op, submitted] {
+            Micros total = sim.now() - submitted;
+            if (submitted >= measure_from) {
+              ++measured_ops;
+              if (op == OpType::kRead) {
+                result.read_latency.Record(static_cast<double>(total));
+              } else {
+                result.update_latency.Record(static_cast<double>(total));
+              }
+            }
+          });
+        });
+      });
+      Micros gap = static_cast<Micros>(
+          gen.rng().Exponential(1e6 / target_qps));
+      schedule_next(sim.now() + std::max<Micros>(1, gap));
+    });
+  };
+  // Periodic service pump: Changelog heartbeats + tablet maintenance.
+  std::function<void()> pump = [&] {
+    service.Pump();
+    if (sim.now() < end) sim.After(500'000, pump);
+  };
+  sim.After(500'000, pump);
+
+  schedule_next(start + 1);
+  // The autoscaler re-arms itself indefinitely; bound the run and leave a
+  // drain margin for in-flight operations.
+  sim.Run(end + 2'000'000);
+
+  result.achieved_qps =
+      static_cast<double>(measured_ops) /
+      (static_cast<double>(options_.measure_duration) / 1e6);
+  return result;
+}
+
+}  // namespace firestore::ycsb

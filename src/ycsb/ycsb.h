@@ -1,0 +1,94 @@
+// YCSB workload generation and the open-loop runner used by the Fig. 7/8
+// benchmarks (paper §V-B1): "workload A with 50% reads and 50% updates and
+// workload B with 95% reads and 5% updates ... uniform key distribution with
+// 900-byte sized documents, each composed of a single field of that size."
+
+#ifndef FIRESTORE_YCSB_YCSB_H_
+#define FIRESTORE_YCSB_YCSB_H_
+
+#include <functional>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "service/service.h"
+#include "sim/cpu_server.h"
+#include "sim/latency_model.h"
+#include "sim/simulation.h"
+
+namespace firestore::ycsb {
+
+enum class OpType { kRead, kUpdate };
+
+struct WorkloadSpec {
+  std::string name;
+  double read_fraction = 0.5;  // A: 0.5, B: 0.95
+  int64_t record_count = 1000;
+  size_t value_bytes = 900;
+  bool zipfian = false;  // paper uses uniform
+};
+
+inline WorkloadSpec WorkloadA(int64_t records = 1000) {
+  return {"A", 0.5, records, 900, false};
+}
+inline WorkloadSpec WorkloadB(int64_t records = 1000) {
+  return {"B", 0.95, records, 900, false};
+}
+
+// Generates keys/ops for a workload.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, uint64_t seed);
+
+  OpType NextOp();
+  // Document path of the next record, e.g. /usertable/user12345.
+  std::string NextKey();
+  model::Map MakeValue();
+
+  const WorkloadSpec& spec() const { return spec_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  WorkloadSpec spec_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+};
+
+// Results of one target-QPS level.
+struct RunResult {
+  double target_qps = 0;
+  double achieved_qps = 0;
+  Histogram read_latency;    // micros
+  Histogram update_latency;  // micros
+};
+
+// Open-loop YCSB run against a real FirestoreService inside the simulation:
+// every operation performs the real engine work (reads, commits, index
+// maintenance) and is charged simulated network/CPU latency. The Backend
+// CPU pool autoscales, reproducing the ramp-up effects of §V-B1.
+class YcsbRunner {
+ public:
+  struct Options {
+    Micros measure_duration = 20'000'000;  // per level, virtual time
+    Micros warmup_duration = 5'000'000;
+    Micros backend_read_cost = 80;    // CPU cost of a point read
+    Micros backend_update_cost = 250;
+    int initial_backend_workers = 4;
+    bool autoscale = true;
+    bool multi_region = true;
+  };
+
+  YcsbRunner(WorkloadSpec spec, Options options, uint64_t seed = 42);
+
+  // Loads `record_count` documents and runs one open-loop level.
+  RunResult RunLevel(double target_qps);
+
+ private:
+  WorkloadSpec spec_;
+  Options options_;
+  uint64_t seed_;
+};
+
+}  // namespace firestore::ycsb
+
+#endif  // FIRESTORE_YCSB_YCSB_H_

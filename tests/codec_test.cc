@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "firestore/codec/document_codec.h"
+#include "firestore/codec/ordered_code.h"
+#include "firestore/codec/value_codec.h"
+#include "firestore/model/document.h"
+
+namespace firestore::codec {
+namespace {
+
+using model::Array;
+using model::Document;
+using model::FieldPath;
+using model::Map;
+using model::ResourcePath;
+using model::Value;
+
+// ---------------------------------------------------------------------------
+// Ordered-code primitives
+
+TEST(OrderedCodeTest, BytesRoundTrip) {
+  for (const std::string& s :
+       {std::string(""), std::string("abc"), std::string("\x00", 1),
+        std::string("a\x00 b", 4), std::string("\xff\xff", 2),
+        std::string("\x00\x01\xff", 3)}) {
+    std::string enc;
+    AppendBytes(enc, s);
+    std::string_view view = enc;
+    std::string out;
+    ASSERT_TRUE(ParseBytes(&view, &out));
+    EXPECT_EQ(out, s);
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+TEST(OrderedCodeTest, BytesOrderPreserving) {
+  std::vector<std::string> inputs = {
+      std::string(""),          std::string("\x00", 1),
+      std::string("\x00\x00", 2), std::string("\x00\x01", 2),
+      std::string("\x01", 1),   std::string("a"),
+      std::string("a\x00", 2),  std::string("a\x00x", 3),
+      std::string("a\x01", 2),  std::string("ab"),
+      std::string("b"),         std::string("\xfe"),
+      std::string("\xff"),      std::string("\xff\xff", 2)};
+  for (size_t i = 0; i + 1 < inputs.size(); ++i) {
+    ASSERT_LT(inputs[i], inputs[i + 1]);
+    std::string a, b;
+    AppendBytes(a, inputs[i]);
+    AppendBytes(b, inputs[i + 1]);
+    EXPECT_LT(a, b) << "inputs " << i << " and " << i + 1;
+  }
+}
+
+TEST(OrderedCodeTest, BytesUnambiguousWithTrailingData) {
+  // The terminator must not be confusable with following bytes, whatever
+  // they are — including 0xff (which broke a naive single-0x00 terminator).
+  std::string enc;
+  AppendBytes(enc, "x");
+  enc.push_back('\xff');  // arbitrary next component byte
+  enc.push_back('\x02');
+  std::string_view view = enc;
+  std::string out;
+  ASSERT_TRUE(ParseBytes(&view, &out));
+  EXPECT_EQ(out, "x");
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST(OrderedCodeTest, Int64OrderAndRoundTrip) {
+  std::vector<int64_t> inputs = {std::numeric_limits<int64_t>::min(),
+                                 -1000000, -1, 0, 1, 42, 1000000,
+                                 std::numeric_limits<int64_t>::max()};
+  std::string prev;
+  for (int64_t v : inputs) {
+    std::string enc;
+    AppendInt64(enc, v);
+    EXPECT_EQ(enc.size(), 8u);
+    if (!prev.empty()) {
+      EXPECT_LT(prev, enc);
+    }
+    prev = enc;
+    std::string_view view = enc;
+    int64_t out;
+    ASSERT_TRUE(ParseInt64(&view, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(OrderedCodeTest, DoubleOrderAndRoundTrip) {
+  std::vector<double> inputs = {-std::numeric_limits<double>::infinity(),
+                                -1e308,
+                                -1.5,
+                                -1e-300,
+                                0.0,
+                                1e-300,
+                                1.5,
+                                1e308,
+                                std::numeric_limits<double>::infinity()};
+  std::string prev;
+  for (double v : inputs) {
+    std::string enc;
+    AppendDouble(enc, v);
+    if (!prev.empty()) {
+      EXPECT_LT(prev, enc) << v;
+    }
+    prev = enc;
+    std::string_view view = enc;
+    double out;
+    ASSERT_TRUE(ParseDouble(&view, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(OrderedCodeTest, NaNSortsFirstAmongDoubles) {
+  std::string nan_enc, neg_inf_enc;
+  AppendDouble(nan_enc, std::numeric_limits<double>::quiet_NaN());
+  AppendDouble(neg_inf_enc, -std::numeric_limits<double>::infinity());
+  EXPECT_LT(nan_enc, neg_inf_enc);
+  std::string_view view = nan_enc;
+  double out;
+  ASSERT_TRUE(ParseDouble(&view, &out));
+  EXPECT_TRUE(std::isnan(out));
+}
+
+TEST(OrderedCodeTest, Int32RoundTrip) {
+  for (int32_t v : {std::numeric_limits<int32_t>::min(), -5, 0, 5,
+                    std::numeric_limits<int32_t>::max()}) {
+    std::string enc;
+    AppendInt32(enc, v);
+    std::string_view view = enc;
+    int32_t out;
+    ASSERT_TRUE(ParseInt32(&view, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(OrderedCodeTest, MalformedInputsRejected) {
+  std::string_view empty;
+  std::string bytes_out;
+  int64_t i64;
+  double d;
+  EXPECT_FALSE(ParseBytes(&empty, &bytes_out));
+  EXPECT_FALSE(ParseInt64(&empty, &i64));
+  EXPECT_FALSE(ParseDouble(&empty, &d));
+  std::string unterminated = "abc";
+  std::string_view view = unterminated;
+  EXPECT_FALSE(ParseBytes(&view, &bytes_out));
+  std::string bad_escape("x\x00\x42", 3);
+  view = bad_escape;
+  EXPECT_FALSE(ParseBytes(&view, &bytes_out));
+}
+
+// ---------------------------------------------------------------------------
+// Value codec: the central ordering property
+
+// A diverse corpus of values, strictly ordered by Value::Compare.
+std::vector<Value> OrderedCorpus() {
+  return {
+      Value::Null(),
+      Value::Boolean(false),
+      Value::Boolean(true),
+      Value::Double(std::numeric_limits<double>::quiet_NaN()),
+      Value::Double(-std::numeric_limits<double>::infinity()),
+      Value::Integer(std::numeric_limits<int64_t>::min()),
+      Value::Integer(std::numeric_limits<int64_t>::min() + 1),
+      Value::Double(-1e17),
+      Value::Integer(-(1ll << 53) - 1),
+      Value::Integer(-(1ll << 53)),
+      Value::Double(-3.5),
+      Value::Integer(-3),
+      Value::Double(-0.5),
+      Value::Integer(0),
+      Value::Double(0.25),
+      Value::Integer(1),
+      Value::Double(1.5),
+      Value::Integer(2),
+      Value::Integer((1ll << 53)),
+      Value::Integer((1ll << 53) + 1),
+      Value::Integer((1ll << 53) + 2),
+      Value::Double(1e17),
+      Value::Integer(std::numeric_limits<int64_t>::max() - 1),
+      Value::Integer(std::numeric_limits<int64_t>::max()),
+      Value::Double(1e19),
+      Value::Double(std::numeric_limits<double>::infinity()),
+      Value::Timestamp(-5),
+      Value::Timestamp(0),
+      Value::Timestamp(1000000),
+      Value::String(""),
+      Value::String(std::string("\x00", 1)),
+      Value::String("a"),
+      Value::String(std::string("a\x00", 2)),
+      Value::String("a!"),
+      Value::String("ab"),
+      Value::String("b"),
+      Value::Bytes(""),
+      Value::Bytes("\x01"),
+      Value::Reference("/a/b"),
+      Value::Reference("/a/c"),
+      Value::FromArray({}),
+      Value::FromArray({Value::Null()}),
+      Value::FromArray({Value::Integer(1)}),
+      Value::FromArray({Value::Integer(1), Value::Integer(2)}),
+      Value::FromArray({Value::Integer(2)}),
+      Value::FromMap({}),
+      Value::FromMap({{"", Value::Null()}}),
+      Value::FromMap({{"a", Value::Integer(1)}}),
+      Value::FromMap({{"a", Value::Integer(1)}, {"b", Value::Integer(2)}}),
+      Value::FromMap({{"a", Value::Integer(2)}}),
+      Value::FromMap({{"b", Value::Integer(0)}}),
+  };
+}
+
+TEST(ValueCodecTest, EncodingPreservesTotalOrder) {
+  std::vector<Value> corpus = OrderedCorpus();
+  std::vector<std::string> encoded;
+  for (const Value& v : corpus) encoded.push_back(EncodeValueAsc(v));
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (size_t j = 0; j < corpus.size(); ++j) {
+      int logical = corpus[i].Compare(corpus[j]);
+      int bytes = encoded[i].compare(encoded[j]);
+      int bytes_sign = bytes < 0 ? -1 : bytes > 0 ? 1 : 0;
+      EXPECT_EQ(logical, bytes_sign)
+          << corpus[i].ToString() << " vs " << corpus[j].ToString();
+    }
+  }
+}
+
+TEST(ValueCodecTest, DescendingEncodingReversesOrder) {
+  std::vector<Value> corpus = OrderedCorpus();
+  for (size_t i = 0; i + 1 < corpus.size(); ++i) {
+    std::string a, b;
+    AppendValueDesc(a, corpus[i]);
+    AppendValueDesc(b, corpus[i + 1]);
+    if (corpus[i].Compare(corpus[i + 1]) < 0) {
+      EXPECT_GT(a, b) << corpus[i].ToString();
+    }
+  }
+}
+
+TEST(ValueCodecTest, AscRoundTripIsCanonical) {
+  for (const Value& v : OrderedCorpus()) {
+    std::string enc = EncodeValueAsc(v);
+    std::string_view view = enc;
+    Value out;
+    ASSERT_TRUE(ParseValueAsc(&view, &out)) << v.ToString();
+    EXPECT_TRUE(view.empty());
+    // Decoded value must compare equal (numbers decode canonically:
+    // Double(3.0) comes back as Integer(3), which is equal under Compare).
+    EXPECT_EQ(out.Compare(v), 0) << v.ToString() << " -> " << out.ToString();
+  }
+}
+
+TEST(ValueCodecTest, DescRoundTrip) {
+  for (const Value& v : OrderedCorpus()) {
+    std::string enc;
+    AppendValueDesc(enc, v);
+    std::string_view view = enc;
+    Value out;
+    ASSERT_TRUE(ParseValueDesc(&view, &out)) << v.ToString();
+    EXPECT_TRUE(view.empty());
+    EXPECT_EQ(out.Compare(v), 0);
+  }
+}
+
+TEST(ValueCodecTest, IntegerAndEqualDoubleEncodeIdentically) {
+  // An equality index scan for 3 must match documents storing 3.0.
+  EXPECT_EQ(EncodeValueAsc(Value::Integer(3)),
+            EncodeValueAsc(Value::Double(3.0)));
+  EXPECT_EQ(EncodeValueAsc(Value::Double(-0.0)),
+            EncodeValueAsc(Value::Double(0.0)));
+}
+
+TEST(ValueCodecTest, ConcatenatedComponentsParseSequentially) {
+  // Simulates a composite index key: (string asc, number desc, path).
+  std::string key;
+  AppendValueAsc(key, Value::String("SF"));
+  AppendValueDesc(key, Value::Double(4.5));
+  AppendResourcePath(key, ResourcePath::Parse("/restaurants/one").value());
+
+  std::string_view view = key;
+  Value city, rating;
+  ResourcePath name;
+  ASSERT_TRUE(ParseValueAsc(&view, &city));
+  ASSERT_TRUE(ParseValueDesc(&view, &rating));
+  ASSERT_TRUE(ParseResourcePath(&view, &name));
+  EXPECT_EQ(city.string_value(), "SF");
+  EXPECT_EQ(rating.AsDouble(), 4.5);
+  EXPECT_EQ(name.CanonicalString(), "/restaurants/one");
+}
+
+// Randomized property sweep: generate random values, check order agreement.
+class ValueCodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+Value RandomValue(Rng& rng, int depth) {
+  int choice = static_cast<int>(rng.Uniform(0, depth > 2 ? 7 : 9));
+  switch (choice) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Boolean(rng.Bernoulli(0.5));
+    case 2:
+      return Value::Integer(rng.Uniform(-1000, 1000));
+    case 3:
+      return Value::Double(rng.NextDouble() * 2000 - 1000);
+    case 4:
+      return Value::Timestamp(rng.Uniform(0, 1'000'000));
+    case 5:
+      return Value::String(rng.AlphaNumString(rng.Uniform(0, 8)));
+    case 6:
+      return Value::Bytes(rng.AlphaNumString(rng.Uniform(0, 8)));
+    case 7: {
+      Array a;
+      int n = static_cast<int>(rng.Uniform(0, 3));
+      for (int i = 0; i < n; ++i) a.push_back(RandomValue(rng, depth + 1));
+      return Value::FromArray(std::move(a));
+    }
+    default: {
+      Map m;
+      int n = static_cast<int>(rng.Uniform(0, 3));
+      for (int i = 0; i < n; ++i) {
+        m.emplace(rng.AlphaNumString(2), RandomValue(rng, depth + 1));
+      }
+      return Value::FromMap(std::move(m));
+    }
+  }
+}
+
+TEST_P(ValueCodecPropertyTest, RandomPairsOrderAgreement) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    Value a = RandomValue(rng, 0);
+    Value b = RandomValue(rng, 0);
+    std::string ea = EncodeValueAsc(a);
+    std::string eb = EncodeValueAsc(b);
+    int logical = a.Compare(b);
+    int bytes = ea.compare(eb);
+    int bytes_sign = bytes < 0 ? -1 : bytes > 0 ? 1 : 0;
+    ASSERT_EQ(logical, bytes_sign)
+        << a.ToString() << " vs " << b.ToString();
+    // Round trip.
+    std::string_view view = ea;
+    Value out;
+    ASSERT_TRUE(ParseValueAsc(&view, &out));
+    ASSERT_EQ(out.Compare(a), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueCodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Resource path codec
+
+TEST(PathCodecTest, OrderMatchesPathCompare) {
+  std::vector<std::string> paths = {"/a",       "/a/b",  "/a/b/c/d",
+                                    "/a/c",     "/ab",   "/b",
+                                    "/b/a",     "/b/a/c"};
+  for (size_t i = 0; i + 1 < paths.size(); ++i) {
+    auto pa = ResourcePath::Parse(paths[i]).value();
+    auto pb = ResourcePath::Parse(paths[i + 1]).value();
+    ASSERT_LT(pa.Compare(pb), 0);
+    EXPECT_LT(EncodeResourcePath(pa), EncodeResourcePath(pb))
+        << paths[i] << " vs " << paths[i + 1];
+  }
+}
+
+TEST(PathCodecTest, RoundTrip) {
+  auto p = ResourcePath::Parse("/restaurants/one/ratings/2").value();
+  std::string enc = EncodeResourcePath(p);
+  std::string_view view = enc;
+  ResourcePath out;
+  ASSERT_TRUE(ParseResourcePath(&view, &out));
+  EXPECT_EQ(out.CanonicalString(), "/restaurants/one/ratings/2");
+}
+
+// ---------------------------------------------------------------------------
+// Document codec (exact)
+
+TEST(DocumentCodecTest, RoundTripPreservesEverything) {
+  Document doc(ResourcePath::Parse("/r/one").value(), {});
+  doc.SetField(FieldPath::Single("int"), Value::Integer(42));
+  doc.SetField(FieldPath::Single("dbl"), Value::Double(42.0));
+  doc.SetField(FieldPath::Single("neg0"), Value::Double(-0.0));
+  doc.SetField(FieldPath::Single("str"), Value::String("hello"));
+  doc.SetField(FieldPath::Single("bytes"),
+               Value::Bytes(std::string("\x00\x01", 2)));
+  doc.SetField(FieldPath::Single("ref"), Value::Reference("/a/b"));
+  doc.SetField(FieldPath::Single("ts"), Value::Timestamp(123456));
+  doc.SetField(FieldPath::Single("arr"),
+               Value::FromArray({Value::Integer(1), Value::String("x")}));
+  doc.SetField(FieldPath::Parse("nested.deep.value").value(),
+               Value::Boolean(true));
+  doc.set_create_time(100);
+  doc.set_update_time(200);
+
+  std::string data = SerializeDocument(doc);
+  auto parsed = ParseDocument(data);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name().CanonicalString(), "/r/one");
+  EXPECT_EQ(parsed->create_time(), 100);
+  EXPECT_EQ(parsed->update_time(), 200);
+  // Exact type preservation: int stays int, double stays double.
+  EXPECT_TRUE(parsed->GetField(FieldPath::Single("int"))->is_integer());
+  EXPECT_TRUE(parsed->GetField(FieldPath::Single("dbl"))->is_double());
+  EXPECT_TRUE(std::signbit(
+      parsed->GetField(FieldPath::Single("neg0"))->double_value()));
+  EXPECT_TRUE(*parsed == doc);
+}
+
+TEST(DocumentCodecTest, EmptyDocument) {
+  Document doc(ResourcePath::Parse("/c/d").value(), {});
+  auto parsed = ParseDocument(SerializeDocument(doc));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->fields().empty());
+}
+
+TEST(DocumentCodecTest, CorruptDataRejected) {
+  EXPECT_FALSE(ParseDocument("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff").ok());
+  Document doc(ResourcePath::Parse("/c/d").value(),
+               {{"a", Value::Integer(1)}});
+  std::string data = SerializeDocument(doc);
+  data.push_back('\x07');  // trailing garbage
+  EXPECT_FALSE(ParseDocument(data).ok());
+  std::string truncated = data.substr(0, data.size() / 2);
+  EXPECT_FALSE(ParseDocument(truncated).ok());
+}
+
+TEST(DocumentCodecTest, VarintRoundTrip) {
+  for (uint64_t v :
+       std::vector<uint64_t>{0, 1, 127, 128, 300, uint64_t{1} << 32,
+                             std::numeric_limits<uint64_t>::max()}) {
+    std::string enc;
+    AppendVarint(enc, v);
+    std::string_view view = enc;
+    uint64_t out;
+    ASSERT_TRUE(ParseVarint(&view, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+}  // namespace
+}  // namespace firestore::codec

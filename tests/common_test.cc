@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace firestore {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("missing doc");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing doc");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing doc");
+}
+
+TEST(StatusTest, AllErrorConstructors) {
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(UnknownError("x").code(), StatusCode::kUnknown);
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(PermissionDeniedError("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(AbortedError("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = InvalidArgumentError("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Status UsesAssignOrReturn(int x, int* out) {
+  ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_EQ(UsesAssignOrReturn(-1, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BytesTest, ToHex) {
+  EXPECT_EQ(ToHex(std::string("\x00\xff\x41", 3)), "00ff41");
+  EXPECT_EQ(ToHex(""), "");
+}
+
+TEST(BytesTest, PrefixSuccessor) {
+  EXPECT_EQ(PrefixSuccessor("abc"), "abd");
+  EXPECT_EQ(PrefixSuccessor(std::string("a\xff", 2)), "b");
+  EXPECT_EQ(PrefixSuccessor(std::string("\xff\xff", 2)), "");
+}
+
+TEST(BytesTest, PrefixSuccessorBoundsAllPrefixedKeys) {
+  std::string prefix = "doc";
+  std::string succ = PrefixSuccessor(prefix);
+  EXPECT_LT(prefix + "zzz", succ);
+  EXPECT_LT(prefix + std::string(10, '\xff'), succ);
+  EXPECT_GE(succ, prefix);
+}
+
+TEST(BytesTest, KeySuccessorIsSmallestGreater) {
+  std::string k = "key";
+  std::string succ = KeySuccessor(k);
+  EXPECT_GT(succ, k);
+  EXPECT_LT(k, succ);
+  // Nothing fits strictly between k and k+'\0'.
+  EXPECT_EQ(succ, k + std::string(1, '\0'));
+}
+
+TEST(BytesTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("xbc", "abc"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(RngTest, DeterministicWithSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, AlphaNumStringLengthAndCharset) {
+  Rng rng(7);
+  std::string s = rng.AlphaNumString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(ZipfianTest, InRangeAndSkewed) {
+  Rng rng(3);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    ++counts[v];
+  }
+  // Rank-0 items must dominate a uniform share heavily.
+  EXPECT_GT(counts[0], 100000 / 1000 * 20);
+}
+
+TEST(ZipfianTest, LargeNUsesApproximateZeta) {
+  Rng rng(4);
+  ZipfianGenerator zipf(10'000'000, 0.99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 10'000'000u);
+  }
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.Quantile(0.5), 100, 2);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 100);
+}
+
+TEST(HistogramTest, QuantilesWithinRelativeError) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.Record(i);
+  EXPECT_NEAR(h.Quantile(0.5), 50000, 50000 * 0.02);
+  EXPECT_NEAR(h.Quantile(0.99), 99000, 99000 * 0.02);
+  EXPECT_NEAR(h.Mean(), 50000.5, 1);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.99), 0);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Record(1e9);
+  EXPECT_NEAR(h.Quantile(0.5), 1e9, 1e9 * 0.02);
+}
+
+TEST(BoxplotTest, OrderedQuantiles) {
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(i);
+  BoxplotStats s = ComputeBoxplot(values);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 1000);
+  EXPECT_LE(s.p1, s.p25);
+  EXPECT_LE(s.p25, s.p50);
+  EXPECT_LE(s.p50, s.p75);
+  EXPECT_LE(s.p75, s.p99);
+  EXPECT_NEAR(s.p50, 500, 2);
+}
+
+}  // namespace
+}  // namespace firestore

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "firestore/model/document.h"
+#include "firestore/model/path.h"
+#include "firestore/model/value.h"
+
+namespace firestore::model {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Boolean(true).boolean_value(), true);
+  EXPECT_EQ(Value::Integer(7).integer_value(), 7);
+  EXPECT_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::Timestamp(123).timestamp_value(), 123);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Bytes("\x01\x02").bytes_value(), "\x01\x02");
+  EXPECT_EQ(Value::Reference("/a/b").reference_value(), "/a/b");
+  EXPECT_EQ(Value::FromArray({Value::Integer(1)}).array_value().size(), 1u);
+  EXPECT_EQ(Value::FromMap({{"k", Value::Null()}}).map_value().size(), 1u);
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // The paper-mandated cross-type order (§IV-D1: sorting across fields with
+  // inconsistent types).
+  std::vector<Value> ordered = {
+      Value::Null(),
+      Value::Boolean(false),
+      Value::Boolean(true),
+      Value::Double(std::numeric_limits<double>::quiet_NaN()),
+      Value::Integer(-10),
+      Value::Double(3.5),
+      Value::Integer(4),
+      Value::Timestamp(0),
+      Value::Timestamp(99),
+      Value::String(""),
+      Value::String("a"),
+      Value::String("b"),
+      Value::Bytes(""),
+      Value::Bytes(std::string("\x00", 1)),
+      Value::Reference("/a/b"),
+      Value::FromArray({}),
+      Value::FromArray({Value::Integer(1)}),
+      Value::FromMap({}),
+      Value::FromMap({{"a", Value::Integer(1)}}),
+  };
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    for (size_t j = 0; j < ordered.size(); ++j) {
+      int expected = (i < j) ? -1 : (i > j) ? 1 : 0;
+      EXPECT_EQ(ordered[i].Compare(ordered[j]), expected)
+          << ordered[i].ToString() << " vs " << ordered[j].ToString();
+    }
+  }
+}
+
+TEST(ValueTest, IntegerDoubleCompareNumerically) {
+  EXPECT_EQ(Value::Integer(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Integer(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Integer(4).Compare(Value::Double(3.5)), 0);
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // 2^53 + 1 is not representable as a double.
+  int64_t big = (1ll << 53) + 1;
+  EXPECT_GT(Value::Integer(big).Compare(Value::Integer(1ll << 53)), 0);
+  EXPECT_GT(Value::Integer(big).Compare(Value::Double(std::pow(2.0, 53))), 0);
+}
+
+TEST(ValueTest, NaNSortsBeforeNumbersAndEqualsItself) {
+  Value nan = Value::Double(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(nan.Compare(nan), 0);
+  EXPECT_LT(nan.Compare(Value::Double(-1e308)), 0);
+  EXPECT_LT(nan.Compare(Value::Integer(std::numeric_limits<int64_t>::min())),
+            0);
+  EXPECT_GT(nan.Compare(Value::Boolean(true)), 0);
+}
+
+TEST(ValueTest, ArrayOrderingIsLexicographic) {
+  Value a = Value::FromArray({Value::Integer(1), Value::Integer(2)});
+  Value b = Value::FromArray({Value::Integer(1), Value::Integer(3)});
+  Value prefix = Value::FromArray({Value::Integer(1)});
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_LT(prefix.Compare(a), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+}
+
+TEST(ValueTest, MapOrderingByKeyThenValue) {
+  Value a = Value::FromMap({{"a", Value::Integer(1)}});
+  Value b = Value::FromMap({{"b", Value::Integer(0)}});
+  EXPECT_LT(a.Compare(b), 0);  // key "a" < key "b"
+  Value a2 = Value::FromMap({{"a", Value::Integer(2)}});
+  EXPECT_LT(a.Compare(a2), 0);  // same key, value 1 < 2
+}
+
+TEST(ValueTest, ByteSizeGrowsWithContent) {
+  EXPECT_LT(Value::String("a").ByteSize(), Value::String("abcdef").ByteSize());
+  Value nested = Value::FromMap({{"k", Value::FromArray({Value::Integer(1),
+                                                         Value::Integer(2)})}});
+  EXPECT_GT(nested.ByteSize(), 10u);
+}
+
+TEST(ValueTest, ToStringRendersNested) {
+  Value v = Value::FromMap({{"a", Value::FromArray({Value::Integer(1),
+                                                    Value::String("x")})}});
+  EXPECT_EQ(v.ToString(), "{\"a\": [1, \"x\"]}");
+}
+
+// ---------------------------------------------------------------------------
+// ResourcePath
+
+TEST(ResourcePathTest, ParseAndCanonical) {
+  auto p = ResourcePath::Parse("/restaurants/one/ratings/2");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 4u);
+  EXPECT_EQ(p->CanonicalString(), "/restaurants/one/ratings/2");
+  EXPECT_TRUE(p->IsDocumentPath());
+  EXPECT_FALSE(p->IsCollectionPath());
+}
+
+TEST(ResourcePathTest, ParseWithoutLeadingSlash) {
+  auto p = ResourcePath::Parse("restaurants/one");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->CanonicalString(), "/restaurants/one");
+}
+
+TEST(ResourcePathTest, CollectionPathIsOddLength) {
+  auto p = ResourcePath::Parse("/restaurants");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsCollectionPath());
+  EXPECT_FALSE(p->IsDocumentPath());
+}
+
+TEST(ResourcePathTest, RejectsMalformed) {
+  EXPECT_FALSE(ResourcePath::Parse("").ok());
+  EXPECT_FALSE(ResourcePath::Parse("/").ok());
+  EXPECT_FALSE(ResourcePath::Parse("/a//b").ok());
+  EXPECT_FALSE(ResourcePath::Parse("/a/b/").ok());
+}
+
+TEST(ResourcePathTest, ParentAndChild) {
+  auto p = ResourcePath::Parse("/restaurants/one").value();
+  EXPECT_EQ(p.Parent().CanonicalString(), "/restaurants");
+  EXPECT_EQ(p.Child("ratings").CanonicalString(), "/restaurants/one/ratings");
+}
+
+TEST(ResourcePathTest, PrefixAndCompare) {
+  auto col = ResourcePath::Parse("/restaurants").value();
+  auto doc = ResourcePath::Parse("/restaurants/one").value();
+  auto sub = ResourcePath::Parse("/restaurants/one/ratings/2").value();
+  EXPECT_TRUE(col.IsPrefixOf(doc));
+  EXPECT_TRUE(doc.IsPrefixOf(sub));
+  EXPECT_FALSE(sub.IsPrefixOf(doc));
+  EXPECT_LT(col.Compare(doc), 0);
+  EXPECT_LT(doc.Compare(sub), 0);
+  EXPECT_EQ(doc.Compare(doc), 0);
+}
+
+// ---------------------------------------------------------------------------
+// FieldPath
+
+TEST(FieldPathTest, ParseDotted) {
+  auto f = FieldPath::Parse("a.b.c");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size(), 3u);
+  EXPECT_EQ(f->CanonicalString(), "a.b.c");
+}
+
+TEST(FieldPathTest, RejectsMalformed) {
+  EXPECT_FALSE(FieldPath::Parse("").ok());
+  EXPECT_FALSE(FieldPath::Parse("a..b").ok());
+  EXPECT_FALSE(FieldPath::Parse("a.").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Document
+
+Document MakeRestaurant() {
+  auto name = ResourcePath::Parse("/restaurants/one").value();
+  Map fields;
+  fields["name"] = Value::String("Zola");
+  fields["city"] = Value::String("SF");
+  fields["avgRating"] = Value::Double(4.5);
+  fields["numRatings"] = Value::Integer(20);
+  return Document(name, std::move(fields));
+}
+
+TEST(DocumentTest, GetSetTopLevelField) {
+  Document doc = MakeRestaurant();
+  auto v = doc.GetField(FieldPath::Single("city"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string_value(), "SF");
+  doc.SetField(FieldPath::Single("city"), Value::String("NYC"));
+  EXPECT_EQ(doc.GetField(FieldPath::Single("city"))->string_value(), "NYC");
+}
+
+TEST(DocumentTest, NestedFieldCreateAndRead) {
+  Document doc = MakeRestaurant();
+  doc.SetField(FieldPath::Parse("meta.owner.id").value(),
+               Value::String("u1"));
+  auto v = doc.GetField(FieldPath::Parse("meta.owner.id").value());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string_value(), "u1");
+  // Traversing through a non-map yields nullopt.
+  EXPECT_FALSE(doc.GetField(FieldPath::Parse("city.x").value()).has_value());
+}
+
+TEST(DocumentTest, DeleteField) {
+  Document doc = MakeRestaurant();
+  doc.DeleteField(FieldPath::Single("city"));
+  EXPECT_FALSE(doc.GetField(FieldPath::Single("city")).has_value());
+  // Deleting a missing field is a no-op.
+  doc.DeleteField(FieldPath::Parse("nope.deep").value());
+}
+
+TEST(DocumentTest, ValidateEnforcesSizeLimit) {
+  Document doc = MakeRestaurant();
+  EXPECT_TRUE(doc.Validate().ok());
+  doc.SetField(FieldPath::Single("big"),
+               Value::String(std::string(kMaxDocumentBytes + 1, 'x')));
+  EXPECT_EQ(doc.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DocumentTest, ValidateRejectsCollectionPath) {
+  Document doc(ResourcePath::Parse("/restaurants").value(), {});
+  EXPECT_EQ(doc.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DocumentTest, EqualityIgnoresTimestamps) {
+  Document a = MakeRestaurant();
+  Document b = MakeRestaurant();
+  b.set_update_time(999);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace firestore::model

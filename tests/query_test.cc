@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "firestore/index/backfill.h"
+#include "firestore/query/executor.h"
+#include "firestore/query/planner.h"
+#include "firestore/query/query.h"
+#include "tests/test_support.h"
+
+namespace firestore::query {
+namespace {
+
+using index::IndexState;
+using index::SegmentKind;
+using model::Map;
+using model::Value;
+using testing::Field;
+using testing::Path;
+using testing::TestTenant;
+
+// ---------------------------------------------------------------------------
+// Validation
+
+TEST(QueryValidationTest, AcceptsWellFormed) {
+  Query q(model::ResourcePath(), "restaurants");
+  q.Where(Field("city"), Operator::kEqual, Value::String("SF"))
+      .Where(Field("numRatings"), Operator::kGreaterThan, Value::Integer(2))
+      .OrderByField(Field("numRatings"))
+      .Limit(10);
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryValidationTest, RejectsTwoInequalityFields) {
+  Query q(model::ResourcePath(), "r");
+  q.Where(Field("a"), Operator::kGreaterThan, Value::Integer(1))
+      .Where(Field("b"), Operator::kLessThan, Value::Integer(5));
+  EXPECT_EQ(q.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryValidationTest, AllowsRangeOnOneField) {
+  Query q(model::ResourcePath(), "r");
+  q.Where(Field("a"), Operator::kGreaterThan, Value::Integer(1))
+      .Where(Field("a"), Operator::kLessThanOrEqual, Value::Integer(5));
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(QueryValidationTest, InequalityMustMatchFirstOrder) {
+  Query q(model::ResourcePath(), "r");
+  q.Where(Field("a"), Operator::kGreaterThan, Value::Integer(1))
+      .OrderByField(Field("b"), true);
+  EXPECT_EQ(q.Validate().code(), StatusCode::kInvalidArgument);
+  Query ok(model::ResourcePath(), "r");
+  ok.Where(Field("a"), Operator::kGreaterThan, Value::Integer(1))
+      .OrderByField(Field("a"))
+      .OrderByField(Field("b"), true);
+  EXPECT_TRUE(ok.Validate().ok());
+}
+
+TEST(QueryValidationTest, RejectsNegativeLimitAndDuplicateOrder) {
+  Query q(model::ResourcePath(), "r");
+  q.Limit(-1);
+  EXPECT_FALSE(q.Validate().ok());
+  Query dup(model::ResourcePath(), "r");
+  dup.OrderByField(Field("a")).OrderByField(Field("a"), true);
+  EXPECT_FALSE(dup.Validate().ok());
+}
+
+TEST(QueryTest, NormalizedOrderAddsInequalityField) {
+  Query q(model::ResourcePath(), "r");
+  q.Where(Field("a"), Operator::kGreaterThan, Value::Integer(1));
+  auto order = q.NormalizedOrderBy();
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0].field.CanonicalString(), "a");
+  EXPECT_FALSE(order[0].descending);
+}
+
+// ---------------------------------------------------------------------------
+// Fixture with the restaurant dataset
+
+class QueryExecutionTest : public ::testing::Test {
+ protected:
+  QueryExecutionTest() {
+    struct Row {
+      const char* id;
+      const char* city;
+      const char* type;
+      double rating;
+      int num_ratings;
+    };
+    const Row rows[] = {
+        {"r1", "SF", "BBQ", 4.5, 20},  {"r2", "SF", "Thai", 4.0, 10},
+        {"r3", "SF", "BBQ", 3.0, 2},   {"r4", "NYC", "BBQ", 5.0, 30},
+        {"r5", "NYC", "Cafe", 2.0, 1}, {"r6", "LA", "Thai", 3.5, 8},
+        {"r7", "LA", "BBQ", 4.5, 15},  {"r8", "SEA", "Cafe", 4.8, 40},
+    };
+    for (const Row& r : rows) {
+      Map fields;
+      fields["city"] = Value::String(r.city);
+      fields["type"] = Value::String(r.type);
+      fields["avgRating"] = Value::Double(r.rating);
+      fields["numRatings"] = Value::Integer(r.num_ratings);
+      t_.Put(std::string("/restaurants/") + r.id, std::move(fields));
+    }
+  }
+
+  std::vector<std::string> Ids(const backend::RunQueryResult& r) {
+    std::vector<std::string> ids;
+    for (const auto& doc : r.result.documents) {
+      ids.push_back(doc.name().last_segment());
+    }
+    return ids;
+  }
+
+  Query Restaurants() { return Query(model::ResourcePath(), "restaurants"); }
+
+  TestTenant t_;
+};
+
+TEST_F(QueryExecutionTest, CollectionScanReturnsAllInNameOrder) {
+  auto r = t_.Run(Restaurants());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r1", "r2", "r3", "r4", "r5",
+                                               "r6", "r7", "r8"}));
+  EXPECT_EQ(r->plan_description, "collection-scan(Entities)");
+}
+
+TEST_F(QueryExecutionTest, SingleEqualityUsesAutoIndex) {
+  auto r = t_.Run(Restaurants().Where(Field("city"), Operator::kEqual,
+                                      Value::String("SF")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r1", "r2", "r3"}));
+  EXPECT_NE(r->plan_description.find("city asc"), std::string::npos);
+}
+
+TEST_F(QueryExecutionTest, EqualityConjunctionZigZagJoins) {
+  auto r = t_.Run(Restaurants()
+                      .Where(Field("city"), Operator::kEqual,
+                             Value::String("SF"))
+                      .Where(Field("type"), Operator::kEqual,
+                             Value::String("BBQ")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r1", "r3"}));
+  EXPECT_NE(r->plan_description.find("zigzag-join"), std::string::npos);
+}
+
+TEST_F(QueryExecutionTest, InequalityWithImplicitOrder) {
+  auto r = t_.Run(Restaurants().Where(
+      Field("numRatings"), Operator::kGreaterThan, Value::Integer(2)));
+  ASSERT_TRUE(r.ok());
+  // Ordered by numRatings ascending: r6(8), r2(10), r7(15), r1(20), r4(30),
+  // r8(40). r3(2) and r5(1) excluded.
+  EXPECT_EQ(Ids(*r),
+            (std::vector<std::string>{"r6", "r2", "r7", "r1", "r4", "r8"}));
+}
+
+TEST_F(QueryExecutionTest, RangeBothBounds) {
+  auto r = t_.Run(Restaurants()
+                      .Where(Field("numRatings"), Operator::kGreaterThanOrEqual,
+                             Value::Integer(8))
+                      .Where(Field("numRatings"), Operator::kLessThan,
+                             Value::Integer(30)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r6", "r2", "r7", "r1"}));
+}
+
+TEST_F(QueryExecutionTest, InequalityExcludesOtherTypes) {
+  // A string-valued field on one doc must not leak into a numeric range.
+  t_.Put("/restaurants/weird", {{"numRatings", Value::String("many")},
+                                {"city", Value::String("SF")}});
+  auto r = t_.Run(Restaurants().Where(
+      Field("numRatings"), Operator::kGreaterThan, Value::Integer(0)));
+  ASSERT_TRUE(r.ok());
+  for (const std::string& id : Ids(*r)) EXPECT_NE(id, "weird");
+  EXPECT_EQ(Ids(*r).size(), 8u);
+}
+
+TEST_F(QueryExecutionTest, OrderByDescending) {
+  auto r = t_.Run(Restaurants().OrderByField(Field("avgRating"), true));
+  ASSERT_TRUE(r.ok());
+  // 5.0, 4.8, 4.5, 4.5, 4.0, 3.5, 3.0, 2.0 — ties broken by name (r1 < r7).
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r4", "r8", "r1", "r7", "r2",
+                                               "r6", "r3", "r5"}));
+}
+
+TEST_F(QueryExecutionTest, LimitAndOffset) {
+  auto r = t_.Run(
+      Restaurants().OrderByField(Field("avgRating"), true).Limit(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r4", "r8", "r1"}));
+  auto page2 = t_.Run(Restaurants()
+                          .OrderByField(Field("avgRating"), true)
+                          .Offset(3)
+                          .Limit(3));
+  ASSERT_TRUE(page2.ok());
+  EXPECT_EQ(Ids(*page2), (std::vector<std::string>{"r7", "r2", "r6"}));
+}
+
+TEST_F(QueryExecutionTest, LimitStopsScanEarly) {
+  auto all = t_.Run(Restaurants().OrderByField(Field("avgRating"), true));
+  auto limited =
+      t_.Run(Restaurants().OrderByField(Field("avgRating"), true).Limit(2));
+  ASSERT_TRUE(all.ok() && limited.ok());
+  EXPECT_LT(limited->result.stats.index_rows_scanned,
+            all->result.stats.index_rows_scanned);
+}
+
+TEST_F(QueryExecutionTest, EqualityPlusOrderNeedsCompositeIndex) {
+  Query q = Restaurants()
+                .Where(Field("city"), Operator::kEqual, Value::String("SF"))
+                .OrderByField(Field("avgRating"), true);
+  auto fail = t_.Run(q);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(fail.status().message().find("composite index"),
+            std::string::npos);
+  // Create the suggested index; the query now works.
+  auto id = t_.backfill().CreateIndex(
+      t_.catalog(), t_.id(), "restaurants",
+      {{Field("city"), SegmentKind::kAscending},
+       {Field("avgRating"), SegmentKind::kDescending}});
+  ASSERT_TRUE(id.ok());
+  auto r = t_.Run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r1", "r2", "r3"}));
+}
+
+TEST_F(QueryExecutionTest, PaperExampleJoinOfTwoCompositeIndexes) {
+  // §IV-D3: city=="New York" and type=="BBQ" order by avgRating desc is
+  // executed by joining (city asc, avgRating desc) and
+  // (type asc, avgRating desc).
+  ASSERT_TRUE(t_.backfill()
+                  .CreateIndex(t_.catalog(), t_.id(), "restaurants",
+                               {{Field("city"), SegmentKind::kAscending},
+                                {Field("avgRating"),
+                                 SegmentKind::kDescending}})
+                  .ok());
+  ASSERT_TRUE(t_.backfill()
+                  .CreateIndex(t_.catalog(), t_.id(), "restaurants",
+                               {{Field("type"), SegmentKind::kAscending},
+                                {Field("avgRating"),
+                                 SegmentKind::kDescending}})
+                  .ok());
+  auto r = t_.Run(Restaurants()
+                      .Where(Field("city"), Operator::kEqual,
+                             Value::String("SF"))
+                      .Where(Field("type"), Operator::kEqual,
+                             Value::String("BBQ"))
+                      .OrderByField(Field("avgRating"), true));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r1", "r3"}));
+  EXPECT_NE(r->plan_description.find("zigzag-join"), std::string::npos);
+}
+
+TEST_F(QueryExecutionTest, InequalityPlusEqualityViaComposite) {
+  ASSERT_TRUE(t_.backfill()
+                  .CreateIndex(t_.catalog(), t_.id(), "restaurants",
+                               {{Field("city"), SegmentKind::kAscending},
+                                {Field("numRatings"),
+                                 SegmentKind::kAscending}})
+                  .ok());
+  auto r = t_.Run(Restaurants()
+                      .Where(Field("city"), Operator::kEqual,
+                             Value::String("SF"))
+                      .Where(Field("numRatings"), Operator::kGreaterThan,
+                             Value::Integer(5)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"r2", "r1"}));
+}
+
+TEST_F(QueryExecutionTest, ArrayContains) {
+  t_.Put("/restaurants/tagged1",
+         {{"tags", Value::FromArray({Value::String("vegan"),
+                                     Value::String("patio")})}});
+  t_.Put("/restaurants/tagged2",
+         {{"tags", Value::FromArray({Value::String("patio")})}});
+  auto r = t_.Run(Restaurants().Where(Field("tags"),
+                                      Operator::kArrayContains,
+                                      Value::String("vegan")));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"tagged1"}));
+  auto both = t_.Run(Restaurants().Where(Field("tags"),
+                                         Operator::kArrayContains,
+                                         Value::String("patio")));
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(Ids(*both), (std::vector<std::string>{"tagged1", "tagged2"}));
+}
+
+TEST_F(QueryExecutionTest, ProjectionReturnsRequestedFieldsOnly) {
+  auto r = t_.Run(Restaurants()
+                      .Where(Field("city"), Operator::kEqual,
+                             Value::String("SF"))
+                      .Project({Field("avgRating")}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->result.documents.empty());
+  for (const auto& doc : r->result.documents) {
+    EXPECT_TRUE(doc.GetField(Field("avgRating")).has_value());
+    EXPECT_FALSE(doc.GetField(Field("city")).has_value());
+  }
+}
+
+TEST_F(QueryExecutionTest, ExemptedFieldQueryFails) {
+  t_.catalog().AddExemption("restaurants", Field("city"));
+  auto r = t_.Run(Restaurants().Where(Field("city"), Operator::kEqual,
+                                      Value::String("SF")));
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryExecutionTest, SubCollectionQueriesScopeToParent) {
+  t_.Put("/restaurants/r1/ratings/a", {{"rating", Value::Integer(5)}});
+  t_.Put("/restaurants/r1/ratings/b", {{"rating", Value::Integer(3)}});
+  t_.Put("/restaurants/r2/ratings/c", {{"rating", Value::Integer(1)}});
+  Query q(Path("/restaurants/r1"), "ratings");
+  auto r = t_.Run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(*r), (std::vector<std::string>{"a", "b"}));
+  // With a filter: the collection-group index spans parents, but results
+  // stay scoped to r1.
+  Query filtered = q;
+  filtered.Where(Field("rating"), Operator::kGreaterThan, Value::Integer(0));
+  auto fr = t_.Run(filtered);
+  ASSERT_TRUE(fr.ok());
+  EXPECT_EQ(Ids(*fr), (std::vector<std::string>{"b", "a"}));  // by rating
+}
+
+TEST_F(QueryExecutionTest, QueryAtPastTimestampSeesOldData) {
+  auto before = t_.spanner().StrongReadTimestamp();
+  t_.Put("/restaurants/new1", {{"city", Value::String("SF")}});
+  auto now_result = t_.Run(Restaurants().Where(
+      Field("city"), Operator::kEqual, Value::String("SF")));
+  ASSERT_TRUE(now_result.ok());
+  EXPECT_EQ(now_result->result.documents.size(), 4u);
+  auto past_result = t_.Run(Restaurants().Where(Field("city"),
+                                                Operator::kEqual,
+                                                Value::String("SF")),
+                            before);
+  ASSERT_TRUE(past_result.ok());
+  EXPECT_EQ(past_result->result.documents.size(), 3u);
+}
+
+TEST_F(QueryExecutionTest, MixedNumericTypesMatchEquality) {
+  t_.Put("/restaurants/intRated", {{"avgRating", Value::Integer(4)}});
+  t_.Put("/restaurants/dblRated", {{"avgRating", Value::Double(4.0)}});
+  auto r = t_.Run(Restaurants().Where(Field("avgRating"), Operator::kEqual,
+                                      Value::Integer(4)));
+  ASSERT_TRUE(r.ok());
+  // r2 stores Double(4.0), which equals Integer(4) numerically.
+  EXPECT_EQ(Ids(*r),
+            (std::vector<std::string>{"dblRated", "intRated", "r2"}));
+}
+
+TEST_F(QueryExecutionTest, DocumentsMissingOrderFieldExcluded) {
+  t_.Put("/restaurants/norating", {{"city", Value::String("SF")}});
+  auto r = t_.Run(Restaurants().OrderByField(Field("avgRating")));
+  ASSERT_TRUE(r.ok());
+  for (const std::string& id : Ids(*r)) EXPECT_NE(id, "norating");
+  EXPECT_EQ(Ids(*r).size(), 8u);
+}
+
+TEST_F(QueryExecutionTest, QueryInTransactionSeesLockedConsistentData) {
+  auto txn = t_.spanner().BeginTransaction();
+  Query q = Restaurants().Where(Field("city"), Operator::kEqual,
+                                Value::String("SF"));
+  auto r = t_.reader().RunQueryInTransaction(t_.id(), t_.catalog(), q, *txn);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->documents.size(), 3u);
+  txn->Abort();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test: executor vs. brute-force evaluation.
+
+class QueryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryPropertyTest, ExecutorAgreesWithBruteForce) {
+  TestTenant t;
+  Rng rng(GetParam());
+  const std::vector<std::string> cities = {"SF", "NYC", "LA"};
+  std::vector<model::Document> corpus;
+  for (int i = 0; i < 40; ++i) {
+    Map fields;
+    fields["city"] = Value::String(cities[rng.Uniform(0, 2)]);
+    fields["rating"] = rng.Bernoulli(0.5)
+                           ? Value::Integer(rng.Uniform(0, 5))
+                           : Value::Double(rng.NextDouble() * 5);
+    if (rng.Bernoulli(0.7)) {
+      fields["pop"] = Value::Integer(rng.Uniform(0, 100));
+    }
+    std::string path = "/docs/d" + std::to_string(i);
+    t.Put(path, fields);
+    model::Document doc(testing::Path(path), fields);
+    corpus.push_back(doc);
+  }
+  // A set of random but valid queries.
+  for (int iter = 0; iter < 25; ++iter) {
+    Query q(model::ResourcePath(), "docs");
+    if (rng.Bernoulli(0.6)) {
+      q.Where(Field("city"), Operator::kEqual,
+              Value::String(cities[rng.Uniform(0, 2)]));
+    }
+    bool has_ineq = rng.Bernoulli(0.5);
+    if (has_ineq) {
+      Operator op = rng.Bernoulli(0.5) ? Operator::kGreaterThan
+                                       : Operator::kLessThanOrEqual;
+      q.Where(Field("pop"), op, Value::Integer(rng.Uniform(0, 100)));
+    }
+    if (rng.Bernoulli(0.3)) q.Limit(rng.Uniform(1, 10));
+    // Brute force.
+    std::vector<model::Document> expected;
+    for (const auto& doc : corpus) {
+      if (q.Matches(doc)) expected.push_back(doc);
+    }
+    std::sort(expected.begin(), expected.end(),
+              [&](const model::Document& a, const model::Document& b) {
+                return q.Compare(a, b) < 0;
+              });
+    if (q.limit() > 0 &&
+        static_cast<int64_t>(expected.size()) > q.limit()) {
+      expected.resize(q.limit());
+    }
+    auto run = t.Run(q);
+    if (!run.ok()) {
+      // The only acceptable failure is a missing composite index.
+      ASSERT_EQ(run.status().code(), StatusCode::kFailedPrecondition)
+          << q.CanonicalString() << ": " << run.status();
+      continue;
+    }
+    ASSERT_EQ(run->result.documents.size(), expected.size())
+        << q.CanonicalString();
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(run->result.documents[i].name().CanonicalString(),
+                expected[i].name().CanonicalString())
+          << q.CanonicalString() << " position " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace firestore::query

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "rtcache/changelog.h"
+#include "rtcache/query_matcher.h"
+#include "rtcache/range_ownership.h"
+#include "tests/test_support.h"
+
+namespace firestore::rtcache {
+namespace {
+
+using backend::DocumentChange;
+using backend::WriteOutcome;
+using model::Document;
+using model::Value;
+using spanner::Timestamp;
+using testing::Field;
+using testing::Path;
+
+// ---------------------------------------------------------------------------
+// RangeOwnership
+
+TEST(RangeOwnershipTest, UniformCoversKeySpace) {
+  RangeOwnership ranges = RangeOwnership::Uniform(8);
+  EXPECT_EQ(ranges.num_ranges(), 8);
+  EXPECT_EQ(ranges.OwnerOf(std::string(1, '\x00')), 0);
+  EXPECT_EQ(ranges.OwnerOf(std::string(1, '\xff')), 7);
+  // Ownership is monotone in the key.
+  int prev = 0;
+  for (int b = 0; b < 256; ++b) {
+    int owner = ranges.OwnerOf(std::string(1, static_cast<char>(b)));
+    EXPECT_GE(owner, prev);
+    prev = owner;
+  }
+}
+
+TEST(RangeOwnershipTest, RangesCoveringSpansAndClamps) {
+  RangeOwnership ranges = RangeOwnership::Uniform(4);
+  // Splits at 0x40, 0x80, 0xc0.
+  auto all = ranges.RangesCovering("", "");
+  EXPECT_EQ(all.size(), 4u);
+  auto first = ranges.RangesCovering("", std::string(1, '\x10'));
+  EXPECT_EQ(first, (std::vector<RangeId>{0}));
+  auto middle =
+      ranges.RangesCovering(std::string(1, '\x45'), std::string(1, '\x85'));
+  EXPECT_EQ(middle, (std::vector<RangeId>{1, 2}));
+  // Limit exactly on a split point does not include the upper range.
+  auto edge = ranges.RangesCovering(std::string(1, '\x45'),
+                                    std::string(1, '\x80'));
+  EXPECT_EQ(edge, (std::vector<RangeId>{1}));
+}
+
+TEST(RangeOwnershipTest, ReshardingBumpsGeneration) {
+  RangeOwnership ranges = RangeOwnership::Uniform(2);
+  int64_t g0 = ranges.generation();
+  ranges.SetSplitPoints({"m"});
+  EXPECT_GT(ranges.generation(), g0);
+  EXPECT_EQ(ranges.OwnerOf("a"), 0);
+  EXPECT_EQ(ranges.OwnerOf("z"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Changelog + QueryMatcher
+
+class RtFixture : public ::testing::Test {
+ protected:
+  RtFixture()
+      : clock_(1'000'000),
+        ranges_(RangeOwnership::Uniform(1)),  // single range for determinism
+        changelog_(&clock_, &ranges_, &matcher_) {
+    query_ = query::Query(model::ResourcePath(), "docs");
+    matcher_.Subscribe(
+        1, "db", query_, {0},
+        [this](uint64_t id, const RangeEvent& event) {
+          (void)id;
+          events_.push_back(event);
+        });
+  }
+
+  DocumentChange MakeChange(const std::string& path, int64_t v) {
+    DocumentChange change;
+    change.name = Path(path);
+    Document doc(change.name, {{"v", Value::Integer(v)}});
+    change.new_doc = std::move(doc);
+    return change;
+  }
+
+  std::vector<RangeEvent> ChangeEvents() const {
+    std::vector<RangeEvent> out;
+    for (const RangeEvent& e : events_) {
+      if (e.type == RangeEvent::Type::kChange) out.push_back(e);
+    }
+    return out;
+  }
+  bool SawOutOfSync() const {
+    for (const RangeEvent& e : events_) {
+      if (e.type == RangeEvent::Type::kOutOfSync) return true;
+    }
+    return false;
+  }
+  Timestamp LastWatermark() const {
+    Timestamp w = -1;
+    for (const RangeEvent& e : events_) {
+      if (e.type == RangeEvent::Type::kWatermark) w = e.ts;
+    }
+    return w;
+  }
+
+  ManualClock clock_;
+  RangeOwnership ranges_;
+  QueryMatcher matcher_;
+  Changelog changelog_;
+  query::Query query_;
+  std::vector<RangeEvent> events_;
+};
+
+TEST_F(RtFixture, PrepareAssignsIncreasingMinTimestamps) {
+  auto p1 = changelog_.Prepare("db", {Path("/docs/a")}, clock_.NowMicros() +
+                                                            1'000'000);
+  auto p2 = changelog_.Prepare("db", {Path("/docs/b")}, clock_.NowMicros() +
+                                                            1'000'000);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_GT(p2->min_commit_ts, p1->min_commit_ts);
+  EXPECT_GE(p1->min_commit_ts, clock_.NowMicros());
+}
+
+TEST_F(RtFixture, AcceptedMutationsReleasedInTimestampOrder) {
+  Timestamp max_ts = clock_.NowMicros() + 1'000'000;
+  auto p1 = changelog_.Prepare("db", {Path("/docs/a")}, max_ts);
+  auto p2 = changelog_.Prepare("db", {Path("/docs/b")}, max_ts);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  // Accept out of order: the later prepare's (earlier unknown) commit first.
+  Timestamp ts2 = p2->min_commit_ts + 10;
+  Timestamp ts1 = p1->min_commit_ts + 5;  // ts1 < ts2
+  changelog_.Accept(p2->token, WriteOutcome::kSuccess, ts2,
+                    {MakeChange("/docs/b", 2)});
+  // Nothing can be released yet: prepare 1 is outstanding with min < ts2.
+  EXPECT_TRUE(ChangeEvents().empty());
+  changelog_.Accept(p1->token, WriteOutcome::kSuccess, ts1,
+                    {MakeChange("/docs/a", 1)});
+  // Both become releasable; order must be ts1 then ts2.
+  clock_.AdvanceBy(2'000'000);
+  changelog_.Tick();
+  auto changes = ChangeEvents();
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].ts, ts1);
+  EXPECT_EQ(changes[1].ts, ts2);
+}
+
+TEST_F(RtFixture, FailedWritesAreDropped) {
+  auto p = changelog_.Prepare("db", {Path("/docs/a")},
+                              clock_.NowMicros() + 1'000'000);
+  ASSERT_TRUE(p.ok());
+  changelog_.Accept(p->token, WriteOutcome::kFailed, 0, {});
+  clock_.AdvanceBy(2'000'000);
+  changelog_.Tick();
+  EXPECT_TRUE(ChangeEvents().empty());
+  EXPECT_FALSE(SawOutOfSync());
+}
+
+TEST_F(RtFixture, UnknownOutcomeMarksRangeOutOfSync) {
+  auto p = changelog_.Prepare("db", {Path("/docs/a")},
+                              clock_.NowMicros() + 1'000'000);
+  ASSERT_TRUE(p.ok());
+  changelog_.Accept(p->token, WriteOutcome::kUnknown, 0, {});
+  EXPECT_TRUE(SawOutOfSync());
+  EXPECT_EQ(changelog_.out_of_sync_events(), 1);
+}
+
+TEST_F(RtFixture, ExpiredPrepareMarksRangeOutOfSync) {
+  auto p = changelog_.Prepare("db", {Path("/docs/a")},
+                              clock_.NowMicros() + 1'000'000);
+  ASSERT_TRUE(p.ok());
+  // The Accept never arrives; after max_ts + grace the range is reset.
+  clock_.AdvanceBy(2'000'000);
+  changelog_.Tick();
+  EXPECT_TRUE(SawOutOfSync());
+  // A late Accept for the expired prepare is ignored.
+  changelog_.Accept(p->token, WriteOutcome::kSuccess, p->min_commit_ts + 1,
+                    {MakeChange("/docs/a", 1)});
+  EXPECT_TRUE(ChangeEvents().empty());
+}
+
+TEST_F(RtFixture, HeartbeatsAdvanceIdleWatermark) {
+  changelog_.Tick();
+  Timestamp w1 = LastWatermark();
+  EXPECT_EQ(w1, clock_.NowMicros());
+  clock_.AdvanceBy(5'000);
+  changelog_.Tick();
+  EXPECT_EQ(LastWatermark(), clock_.NowMicros());
+}
+
+TEST_F(RtFixture, WatermarkHeldBackByOutstandingPrepare) {
+  auto p = changelog_.Prepare("db", {Path("/docs/a")},
+                              clock_.NowMicros() + 10'000'000);
+  ASSERT_TRUE(p.ok());
+  clock_.AdvanceBy(5'000'000);
+  changelog_.Tick();  // within grace; prepare still outstanding
+  EXPECT_LT(LastWatermark(), p->min_commit_ts);
+}
+
+TEST_F(RtFixture, UnavailableFaultFailsPrepare) {
+  changelog_.set_unavailable(true);
+  auto p = changelog_.Prepare("db", {Path("/docs/a")},
+                              clock_.NowMicros() + 1'000'000);
+  EXPECT_EQ(p.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RtFixture, MatcherFiltersIrrelevantChanges) {
+  // The subscription is for collection "docs"; a change in another
+  // collection is matched against the query and dropped.
+  auto p = changelog_.Prepare("db", {Path("/other/x")},
+                              clock_.NowMicros() + 1'000'000);
+  ASSERT_TRUE(p.ok());
+  changelog_.Accept(p->token, WriteOutcome::kSuccess, p->min_commit_ts + 1,
+                    {MakeChange("/other/x", 1)});
+  clock_.AdvanceBy(2'000'000);
+  changelog_.Tick();
+  EXPECT_TRUE(ChangeEvents().empty());
+  EXPECT_GT(matcher_.documents_examined(), 0);
+  EXPECT_EQ(matcher_.documents_matched(), 0);
+}
+
+TEST_F(RtFixture, MatcherForwardsRemovals) {
+  // A document that used to match but no longer does is still forwarded
+  // (the frontend needs it to emit the removal).
+  DocumentChange change;
+  change.name = Path("/docs/gone");
+  change.deleted = true;
+  change.old_doc = Document(change.name, {{"v", Value::Integer(1)}});
+  auto p = changelog_.Prepare("db", {change.name},
+                              clock_.NowMicros() + 1'000'000);
+  ASSERT_TRUE(p.ok());
+  changelog_.Accept(p->token, WriteOutcome::kSuccess, p->min_commit_ts + 1,
+                    {change});
+  clock_.AdvanceBy(2'000'000);
+  changelog_.Tick();
+  ASSERT_EQ(ChangeEvents().size(), 1u);
+  EXPECT_TRUE(ChangeEvents()[0].change.deleted);
+}
+
+TEST_F(RtFixture, MatcherIgnoresOtherDatabases) {
+  auto p = changelog_.Prepare("other-db", {Path("/docs/a")},
+                              clock_.NowMicros() + 1'000'000);
+  ASSERT_TRUE(p.ok());
+  changelog_.Accept(p->token, WriteOutcome::kSuccess, p->min_commit_ts + 1,
+                    {MakeChange("/docs/a", 1)});
+  clock_.AdvanceBy(2'000'000);
+  changelog_.Tick();
+  EXPECT_TRUE(ChangeEvents().empty());
+}
+
+TEST_F(RtFixture, UnsubscribeStopsDelivery) {
+  matcher_.Unsubscribe(1);
+  EXPECT_EQ(matcher_.subscription_count(), 0);
+  auto p = changelog_.Prepare("db", {Path("/docs/a")},
+                              clock_.NowMicros() + 1'000'000);
+  changelog_.Accept(p->token, WriteOutcome::kSuccess, p->min_commit_ts + 1,
+                    {MakeChange("/docs/a", 1)});
+  clock_.AdvanceBy(2'000'000);
+  changelog_.Tick();
+  EXPECT_TRUE(events_.empty());
+}
+
+}  // namespace
+}  // namespace firestore::rtcache

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include "firestore/rules/rules.h"
+#include "tests/test_support.h"
+
+namespace firestore::rules {
+namespace {
+
+using model::Document;
+using model::Map;
+using model::Value;
+using testing::Path;
+
+AuthContext User(const std::string& uid) {
+  AuthContext auth;
+  auth.authenticated = true;
+  auth.uid = uid;
+  return auth;
+}
+
+Document RatingDoc(const std::string& path, const std::string& user_id) {
+  Document doc(Path(path), {});
+  doc.SetField(model::FieldPath::Single("userId"), Value::String(user_id));
+  doc.SetField(model::FieldPath::Single("rating"), Value::Integer(4));
+  return doc;
+}
+
+// The paper's Figure 3 ruleset.
+constexpr char kCodelabRules[] = R"(
+  match /restaurants/{restaurantId}/ratings/{ratingId} {
+    allow read: if request.auth != null;
+    allow create: if request.auth.uid == request.resource.data.userId;
+  }
+)";
+
+class CodelabRulesTest : public ::testing::Test {
+ protected:
+  CodelabRulesTest() {
+    auto parsed = RuleSet::Parse(kCodelabRules);
+    FS_CHECK(parsed.ok());
+    rules_ = std::move(parsed).value();
+  }
+  RuleSet rules_;
+};
+
+TEST_F(CodelabRulesTest, AuthenticatedUserCanRead) {
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/restaurants/one/ratings/2");
+  req.auth = User("alice");
+  EXPECT_TRUE(rules_.Authorize(req).ok());
+}
+
+TEST_F(CodelabRulesTest, AnonymousReadDenied) {
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/restaurants/one/ratings/2");
+  EXPECT_EQ(rules_.Authorize(req).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(CodelabRulesTest, CreateWithOwnUserIdAllowed) {
+  AccessRequest req;
+  req.kind = AccessKind::kCreate;
+  req.path = Path("/restaurants/one/ratings/2");
+  req.auth = User("alice");
+  req.new_resource = RatingDoc("/restaurants/one/ratings/2", "alice");
+  EXPECT_TRUE(rules_.Authorize(req).ok());
+}
+
+TEST_F(CodelabRulesTest, CreateWithForeignUserIdDenied) {
+  AccessRequest req;
+  req.kind = AccessKind::kCreate;
+  req.path = Path("/restaurants/one/ratings/2");
+  req.auth = User("mallory");
+  req.new_resource = RatingDoc("/restaurants/one/ratings/2", "alice");
+  EXPECT_EQ(rules_.Authorize(req).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(CodelabRulesTest, UpdatesAndDeletesDenied) {
+  // Figure 3: "Updates and deletes of ratings are not allowed."
+  AccessRequest req;
+  req.kind = AccessKind::kUpdate;
+  req.path = Path("/restaurants/one/ratings/2");
+  req.auth = User("alice");
+  req.resource = RatingDoc("/restaurants/one/ratings/2", "alice");
+  req.new_resource = req.resource;
+  EXPECT_FALSE(rules_.Authorize(req).ok());
+  req.kind = AccessKind::kDelete;
+  EXPECT_FALSE(rules_.Authorize(req).ok());
+}
+
+TEST_F(CodelabRulesTest, UnmatchedPathDenied) {
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/users/alice");
+  req.auth = User("alice");
+  EXPECT_FALSE(rules_.Authorize(req).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser coverage
+
+TEST(RulesParserTest, ServiceWrapperAndDatabasesPrefixStripped) {
+  auto rules = RuleSet::Parse(R"(
+    service cloud.firestore {
+      match /databases/{database}/documents {
+        match /open/{doc} {
+          allow read, write;
+        }
+      }
+    }
+  )");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/open/x");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+}
+
+TEST(RulesParserTest, CommentsAndOpLists) {
+  auto rules = RuleSet::Parse(R"(
+    // everyone may read, owners may write
+    match /posts/{id} {
+      allow get, list;
+      allow create, update: if request.auth.uid == 'owner';
+    }
+  )");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kList;
+  req.path = Path("/posts/p");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.kind = AccessKind::kCreate;
+  EXPECT_FALSE(rules->Authorize(req).ok());
+  req.auth = User("owner");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+}
+
+TEST(RulesParserTest, SyntaxErrorsRejected) {
+  EXPECT_FALSE(RuleSet::Parse("match {").ok());
+  EXPECT_FALSE(RuleSet::Parse("match /a/{x} { allow fly; }").ok());
+  EXPECT_FALSE(RuleSet::Parse("match /a/{x} { allow read: if ; }").ok());
+  EXPECT_FALSE(RuleSet::Parse("bogus tokens").ok());
+  EXPECT_FALSE(RuleSet::Parse("match /a/{x} { allow read: if 'x; }").ok());
+}
+
+TEST(RulesParserTest, EmptyRulesetDeniesAll) {
+  auto rules = RuleSet::Parse("");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/a/b");
+  req.auth = User("admin");
+  EXPECT_FALSE(rules->Authorize(req).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Expression semantics
+
+RuleSet MustParse(const std::string& body) {
+  auto rules = RuleSet::Parse("match /t/{id} { allow read: if " + body +
+                              "; }");
+  FS_CHECK(rules.ok());
+  return std::move(rules).value();
+}
+
+bool ReadAllowed(const RuleSet& rules, AccessRequest req) {
+  req.kind = AccessKind::kGet;
+  if (req.path.empty()) req.path = Path("/t/x");
+  return rules.Authorize(req).ok();
+}
+
+TEST(RulesExprTest, BooleanOperators) {
+  AccessRequest anon;
+  EXPECT_TRUE(ReadAllowed(MustParse("true || false"), anon));
+  EXPECT_FALSE(ReadAllowed(MustParse("true && false"), anon));
+  EXPECT_TRUE(ReadAllowed(MustParse("!(false)"), anon));
+  EXPECT_TRUE(ReadAllowed(MustParse("1 < 2 && 'a' != 'b'"), anon));
+}
+
+TEST(RulesExprTest, ShortCircuitPreventsErrors) {
+  // request.auth.uid errors for anonymous users; && short-circuits first.
+  AccessRequest anon;
+  EXPECT_FALSE(ReadAllowed(
+      MustParse("request.auth != null && request.auth.uid == 'x'"), anon));
+  AccessRequest alice;
+  alice.auth = User("x");
+  EXPECT_TRUE(ReadAllowed(
+      MustParse("request.auth != null && request.auth.uid == 'x'"), alice));
+}
+
+TEST(RulesExprTest, ArithmeticAndComparison) {
+  AccessRequest anon;
+  EXPECT_TRUE(ReadAllowed(MustParse("1 + 1 == 2"), anon));
+  EXPECT_TRUE(ReadAllowed(MustParse("5 - 2 >= 3"), anon));
+  EXPECT_TRUE(ReadAllowed(MustParse("'foo' + 'bar' == 'foobar'"), anon));
+  EXPECT_FALSE(ReadAllowed(MustParse("1 < 'a'"), anon));  // error => deny
+}
+
+TEST(RulesExprTest, InOperator) {
+  AccessRequest req;
+  req.auth = User("bob");
+  EXPECT_TRUE(ReadAllowed(
+      MustParse("request.auth.uid in ['alice', 'bob']"), req));
+  EXPECT_FALSE(ReadAllowed(
+      MustParse("request.auth.uid in ['alice', 'carol']"), req));
+}
+
+TEST(RulesExprTest, PathVariablesBind) {
+  auto rules = RuleSet::Parse(
+      "match /users/{userId} { allow read: if request.auth.uid == userId; }");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/users/alice");
+  req.auth = User("alice");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.auth = User("bob");
+  EXPECT_FALSE(rules->Authorize(req).ok());
+}
+
+TEST(RulesExprTest, RestOfPathWildcard) {
+  auto rules = RuleSet::Parse(
+      "match /shared/{rest=**} { allow read: if request.auth != null; }");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/shared/deeply/nested/doc");
+  req.auth = User("u");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.path = Path("/other/doc");
+  EXPECT_FALSE(rules->Authorize(req).ok());
+}
+
+TEST(RulesExprTest, ResourceDataAccess) {
+  auto rules = RuleSet::Parse(
+      "match /docs/{id} { allow read: if resource.data.public == true; }");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/docs/d");
+  Document doc(Path("/docs/d"), {{"public", Value::Boolean(true)}});
+  req.resource = doc;
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  Document priv(Path("/docs/d"), {{"public", Value::Boolean(false)}});
+  req.resource = priv;
+  EXPECT_FALSE(rules->Authorize(req).ok());
+  req.resource.reset();  // missing doc: member access errors => deny
+  EXPECT_FALSE(rules->Authorize(req).ok());
+}
+
+TEST(RulesExprTest, TokenClaims) {
+  auto rules = RuleSet::Parse(
+      "match /admin/{id} { allow read: if request.auth.token.admin == true; "
+      "}");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/admin/x");
+  req.auth = User("u");
+  req.auth.claims["admin"] = Value::Boolean(true);
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.auth.claims["admin"] = Value::Boolean(false);
+  EXPECT_FALSE(rules->Authorize(req).ok());
+}
+
+TEST(RulesExprTest, GetAndExistsLookups) {
+  // Membership check against another document (paper §III-E: "fetch and
+  // inspect fields of other database documents (e.g., check an access
+  // control list)").
+  auto rules = RuleSet::Parse(R"(
+    match /rooms/{roomId} {
+      allow read: if request.auth.uid in
+          get(/acl/$(roomId)).data.members;
+      allow create: if !exists(/acl/$(roomId));
+    }
+  )");
+  ASSERT_TRUE(rules.ok());
+  Document acl(Path("/acl/r1"), {});
+  acl.SetField(model::FieldPath::Single("members"),
+               Value::FromArray({Value::String("alice"),
+                                 Value::String("bob")}));
+  auto lookup = [&acl](const model::ResourcePath& p)
+      -> StatusOr<std::optional<Document>> {
+    if (p == acl.name()) return std::optional<Document>(acl);
+    return std::optional<Document>();
+  };
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/rooms/r1");
+  req.auth = User("alice");
+  req.lookup = lookup;
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.auth = User("mallory");
+  EXPECT_FALSE(rules->Authorize(req).ok());
+  // exists() on a missing ACL permits creation.
+  req.kind = AccessKind::kCreate;
+  req.path = Path("/rooms/r2");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.path = Path("/rooms/r1");
+  EXPECT_FALSE(rules->Authorize(req).ok());
+}
+
+TEST(RulesExprTest, RequestMethodAndPath) {
+  auto rules = RuleSet::Parse(R"(
+    match /docs/{id} {
+      allow read: if request.method == 'get';
+      allow delete: if request.path == '/docs/removable';
+    }
+  )");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/docs/a");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.kind = AccessKind::kList;  // 'list' != 'get'
+  EXPECT_FALSE(rules->Authorize(req).ok());
+  req.kind = AccessKind::kDelete;
+  EXPECT_FALSE(rules->Authorize(req).ok());
+  req.path = Path("/docs/removable");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+}
+
+TEST(RulesExprTest, FirstMatchingAllowWinsAcrossSiblings) {
+  auto rules = RuleSet::Parse(R"(
+    match /a/{id} { allow read: if false; }
+    match /a/{id} { allow read: if true; }
+  )");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/a/x");
+  // Default-deny with any-allow-grants semantics: the second block grants.
+  EXPECT_TRUE(rules->Authorize(req).ok());
+}
+
+TEST(RulesExprTest, NestedMatchBlocksCompose) {
+  auto rules = RuleSet::Parse(R"(
+    match /restaurants/{rid} {
+      allow read;
+      match /ratings/{rat} {
+        allow read: if rid == 'one';
+      }
+    }
+  )");
+  ASSERT_TRUE(rules.ok());
+  AccessRequest req;
+  req.kind = AccessKind::kGet;
+  req.path = Path("/restaurants/any");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.path = Path("/restaurants/one/ratings/5");
+  EXPECT_TRUE(rules->Authorize(req).ok());
+  req.path = Path("/restaurants/two/ratings/5");
+  EXPECT_FALSE(rules->Authorize(req).ok());
+}
+
+}  // namespace
+}  // namespace firestore::rules

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/autoscaler.h"
+#include "sim/cpu_server.h"
+#include "sim/latency_model.h"
+#include "sim/simulation.h"
+#include "ycsb/ycsb.h"
+
+namespace firestore::sim {
+namespace {
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.After(30, [&] { order.push_back(3); });
+  sim.After(10, [&] { order.push_back(1); });
+  sim.After(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_processed(), 3);
+}
+
+TEST(SimulationTest, EqualTimesRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.After(10, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) sim.After(5, chain);
+  };
+  sim.After(5, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulationTest, RunUntilStopsEarly) {
+  Simulation sim;
+  int fired = 0;
+  sim.After(10, [&] { ++fired; });
+  sim.After(100, [&] { ++fired; });
+  sim.Run(/*until=*/50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(CpuServerTest, SingleWorkerSerializesJobs) {
+  Simulation sim;
+  CpuServer server(&sim, {.workers = 1, .fair_share = false, .max_queue = 0});
+  std::vector<Micros> completions;
+  for (int i = 0; i < 3; ++i) {
+    server.Submit("db", 100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<Micros>{100, 200, 300}));
+  EXPECT_EQ(server.completed(), 3);
+}
+
+TEST(CpuServerTest, MultipleWorkersRunConcurrently) {
+  Simulation sim;
+  CpuServer server(&sim, {.workers = 3, .fair_share = false, .max_queue = 0});
+  std::vector<Micros> completions;
+  for (int i = 0; i < 3; ++i) {
+    server.Submit("db", 100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<Micros>{100, 100, 100}));
+}
+
+TEST(CpuServerTest, FairShareInterleavesKeys) {
+  Simulation sim;
+  CpuServer server(&sim, {.workers = 1, .fair_share = true, .max_queue = 0});
+  std::vector<std::string> order;
+  // Key A floods 5 jobs first; key B submits 2. Fair scheduling alternates.
+  for (int i = 0; i < 5; ++i) {
+    server.Submit("A", 10, [&] { order.push_back("A"); });
+  }
+  for (int i = 0; i < 2; ++i) {
+    server.Submit("B", 10, [&] { order.push_back("B"); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 7u);
+  // B's two jobs complete within the first four slots despite arriving
+  // after five A jobs.
+  int b_done = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    if (order[i] == "B") ++b_done;
+  }
+  EXPECT_EQ(b_done, 2);
+}
+
+TEST(CpuServerTest, FifoStarvesLateKey) {
+  Simulation sim;
+  CpuServer server(&sim, {.workers = 1, .fair_share = false, .max_queue = 0});
+  std::vector<std::string> order;
+  for (int i = 0; i < 5; ++i) {
+    server.Submit("A", 10, [&] { order.push_back("A"); });
+  }
+  server.Submit("B", 10, [&] { order.push_back("B"); });
+  sim.Run();
+  EXPECT_EQ(order.back(), "B");  // B waits behind the whole A backlog
+}
+
+TEST(CpuServerTest, LoadSheddingCapsQueue) {
+  Simulation sim;
+  CpuServer server(&sim, {.workers = 1, .fair_share = false, .max_queue = 2});
+  int accepted = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (server.Submit("db", 10, nullptr)) ++accepted;
+  }
+  // One dispatched immediately + two queued.
+  EXPECT_EQ(accepted, 3);
+  EXPECT_EQ(server.shed(), 2);
+  sim.Run();
+}
+
+TEST(CpuServerTest, BatchJobsYieldToLatencySensitive) {
+  Simulation sim;
+  CpuServer server(&sim, {.workers = 1, .fair_share = false, .max_queue = 0});
+  std::vector<std::string> order;
+  // A big backlog of tagged batch work arrives first...
+  for (int i = 0; i < 10; ++i) {
+    server.Submit("db", 10, [&] { order.push_back("batch"); },
+                  /*batch=*/true);
+  }
+  // ...then a latency-sensitive request.
+  server.Submit("db", 10, [&] { order.push_back("user"); });
+  sim.Run();
+  ASSERT_EQ(order.size(), 11u);
+  // The user job ran right after the batch job already in service.
+  EXPECT_EQ(order[1], "user");
+}
+
+TEST(CpuServerTest, BatchBandIsFairAcrossKeysToo) {
+  Simulation sim;
+  CpuServer server(&sim, {.workers = 1, .fair_share = true, .max_queue = 0});
+  std::vector<std::string> order;
+  for (int i = 0; i < 4; ++i) {
+    server.Submit("A", 10, [&] { order.push_back("A"); }, true);
+  }
+  server.Submit("B", 10, [&] { order.push_back("B"); }, true);
+  sim.Run();
+  ASSERT_EQ(order.size(), 5u);
+  // B's single batch job is not starved behind all of A's.
+  int b_pos = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == "B") b_pos = static_cast<int>(i);
+  }
+  EXPECT_LE(b_pos, 2);
+}
+
+TEST(AutoscalerTest, ScalesUpUnderBacklog) {
+  Simulation sim;
+  CpuServer server(&sim, {.workers = 1, .fair_share = false, .max_queue = 0});
+  Autoscaler::Options options;
+  options.interval = 1000;
+  options.samples_before_scale = 2;
+  Autoscaler scaler(&sim, &server, options);
+  scaler.Start();
+  // Sustained overload: 1 job per 100us, each costing 200us.
+  std::function<void()> load = [&] {
+    server.Submit("db", 200, nullptr);
+    if (sim.now() < 20'000) sim.After(100, load);
+  };
+  sim.After(0, load);
+  sim.Run(5'000);
+  EXPECT_GT(server.workers(), 1);  // scaled up under sustained backlog
+  EXPECT_GE(scaler.scale_ups(), 1);
+  // After the load stops, sustained idleness scales back down.
+  sim.Run(60'000);
+  EXPECT_EQ(server.workers(), 1);
+  EXPECT_GE(scaler.scale_downs(), 1);
+}
+
+TEST(LatencyModelTest, MultiRegionSlowerThanRegional) {
+  Rng rng(1);
+  LatencyModel multi({.multi_region = true});
+  LatencyModel::Options regional_options;
+  regional_options.multi_region = false;
+  LatencyModel regional(regional_options);
+  double multi_sum = 0, regional_sum = 0;
+  for (int i = 0; i < 200; ++i) {
+    multi_sum += static_cast<double>(multi.SpannerCommit(rng, 1, 900, 4));
+    regional_sum +=
+        static_cast<double>(regional.SpannerCommit(rng, 1, 900, 4));
+  }
+  EXPECT_GT(multi_sum, regional_sum * 2);
+}
+
+TEST(LatencyModelTest, CommitGrowsWithWork) {
+  Rng rng(2);
+  LatencyModel model;
+  auto avg = [&](int participants, int64_t bytes, int64_t entries) {
+    double sum = 0;
+    for (int i = 0; i < 100; ++i) {
+      sum += static_cast<double>(
+          model.SpannerCommit(rng, participants, bytes, entries));
+    }
+    return sum / 100;
+  };
+  EXPECT_GT(avg(4, 900, 4), avg(1, 900, 4));
+  EXPECT_GT(avg(1, 900'000, 4), avg(1, 900, 4));
+  EXPECT_GT(avg(1, 900, 1000), avg(1, 900, 4));
+}
+
+// ---------------------------------------------------------------------------
+// YCSB runner smoke test
+
+TEST(YcsbTest, WorkloadMixesMatchSpec) {
+  ycsb::WorkloadGenerator gen(ycsb::WorkloadB(100), 7);
+  int reads = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (gen.NextOp() == ycsb::OpType::kRead) ++reads;
+  }
+  EXPECT_NEAR(reads / 2000.0, 0.95, 0.03);
+  model::Map v = gen.MakeValue();
+  EXPECT_EQ(v.at("field0").string_value().size(), 900u);
+}
+
+TEST(YcsbTest, RunLevelProducesSaneLatencies) {
+  ycsb::YcsbRunner::Options options;
+  options.measure_duration = 2'000'000;
+  options.warmup_duration = 500'000;
+  ycsb::YcsbRunner runner(ycsb::WorkloadA(/*records=*/200), options, 11);
+  ycsb::RunResult result = runner.RunLevel(/*target_qps=*/200);
+  EXPECT_NEAR(result.achieved_qps, 200, 60);
+  EXPECT_GT(result.read_latency.count(), 50u);
+  EXPECT_GT(result.update_latency.count(), 50u);
+  // Multi-region: updates pay the commit quorum; reads are cheaper.
+  EXPECT_GT(result.update_latency.Quantile(0.5),
+            result.read_latency.Quantile(0.5));
+  // Latencies are in a plausible band (ms scale, not zero, not seconds).
+  EXPECT_GT(result.read_latency.Quantile(0.5), 1'000);
+  EXPECT_LT(result.read_latency.Quantile(0.99), 1'000'000);
+}
+
+TEST(YcsbTest, RunsAreDeterministicGivenSeed) {
+  ycsb::YcsbRunner::Options options;
+  options.measure_duration = 1'000'000;
+  options.warmup_duration = 200'000;
+  ycsb::YcsbRunner a(ycsb::WorkloadA(100), options, 31);
+  ycsb::YcsbRunner b(ycsb::WorkloadA(100), options, 31);
+  ycsb::RunResult ra = a.RunLevel(100);
+  ycsb::RunResult rb = b.RunLevel(100);
+  EXPECT_EQ(ra.achieved_qps, rb.achieved_qps);
+  EXPECT_EQ(ra.read_latency.count(), rb.read_latency.count());
+  EXPECT_EQ(ra.read_latency.Quantile(0.99), rb.read_latency.Quantile(0.99));
+  EXPECT_EQ(ra.update_latency.Quantile(0.5),
+            rb.update_latency.Quantile(0.5));
+}
+
+}  // namespace
+}  // namespace firestore::sim

@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "spanner/database.h"
+
+namespace firestore::spanner {
+namespace {
+
+class SpannerTest : public ::testing::Test {
+ protected:
+  SpannerTest() : clock_(1'000'000), db_(&clock_) {
+    FS_CHECK_OK(db_.CreateTable("T"));
+  }
+
+  // Commits a single put and returns its timestamp.
+  Timestamp Put(const std::string& key, const std::string& value) {
+    auto txn = db_.BeginTransaction();
+    txn->Put("T", key, value);
+    auto result = txn->Commit();
+    FS_CHECK(result.ok());
+    return result->commit_ts;
+  }
+
+  ManualClock clock_;
+  Database db_;
+};
+
+// ---------------------------------------------------------------------------
+// Basic storage + MVCC
+
+TEST_F(SpannerTest, PutThenSnapshotRead) {
+  Timestamp ts = Put("k", "v1");
+  auto v = db_.SnapshotRead("T", "k", ts);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(**v, "v1");
+}
+
+TEST_F(SpannerTest, SnapshotReadBeforeWriteSeesNothing) {
+  Timestamp ts = Put("k", "v1");
+  auto v = db_.SnapshotRead("T", "k", ts - 1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->has_value());
+}
+
+TEST_F(SpannerTest, MultipleVersionsReadAtTimestamps) {
+  Timestamp t1 = Put("k", "v1");
+  Timestamp t2 = Put("k", "v2");
+  Timestamp t3 = Put("k", "v3");
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+  EXPECT_EQ(**db_.SnapshotRead("T", "k", t1), "v1");
+  EXPECT_EQ(**db_.SnapshotRead("T", "k", t2), "v2");
+  EXPECT_EQ(**db_.SnapshotRead("T", "k", t3), "v3");
+  EXPECT_EQ(**db_.SnapshotRead("T", "k", t3 + 100), "v3");
+}
+
+TEST_F(SpannerTest, DeleteCreatesTombstone) {
+  Timestamp t1 = Put("k", "v1");
+  auto txn = db_.BeginTransaction();
+  txn->Delete("T", "k");
+  auto result = txn->Commit();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(db_.SnapshotRead("T", "k", result->commit_ts)->has_value());
+  EXPECT_TRUE(db_.SnapshotRead("T", "k", t1)->has_value());
+}
+
+TEST_F(SpannerTest, SnapshotScanOrderedAndBounded) {
+  Put("a", "1");
+  Put("c", "3");
+  Put("b", "2");
+  Put("d", "4");
+  Timestamp now = db_.StrongReadTimestamp();
+  auto rows = db_.SnapshotScan("T", "b", "d", now);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].key, "b");
+  EXPECT_EQ((*rows)[1].key, "c");
+}
+
+TEST_F(SpannerTest, ScanWithLimit) {
+  for (int i = 0; i < 10; ++i) Put("k" + std::to_string(i), "v");
+  auto rows = db_.SnapshotScan("T", "", "", db_.StrongReadTimestamp(), 3);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(SpannerTest, ScanSkipsTombstones) {
+  Put("a", "1");
+  Put("b", "2");
+  auto txn = db_.BeginTransaction();
+  txn->Delete("T", "a");
+  ASSERT_TRUE(txn->Commit().ok());
+  auto rows = db_.SnapshotScan("T", "", "", db_.StrongReadTimestamp());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].key, "b");
+}
+
+TEST_F(SpannerTest, UnknownTableErrors) {
+  EXPECT_EQ(db_.SnapshotRead("nope", "k", 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.CreateTable("T").code(), StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+TEST_F(SpannerTest, ReadYourOwnWrites) {
+  auto txn = db_.BeginTransaction();
+  txn->Put("T", "k", "mine");
+  auto v = txn->Read("T", "k");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(**v, "mine");
+}
+
+TEST_F(SpannerTest, AbortDiscardsWrites) {
+  auto txn = db_.BeginTransaction();
+  txn->Put("T", "k", "x");
+  txn->Abort();
+  EXPECT_FALSE(
+      db_.SnapshotRead("T", "k", db_.StrongReadTimestamp())->has_value());
+}
+
+TEST_F(SpannerTest, CommitTimestampsStrictlyIncrease) {
+  Timestamp prev = 0;
+  for (int i = 0; i < 20; ++i) {
+    Timestamp ts = Put("k" + std::to_string(i), "v");
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+}
+
+TEST_F(SpannerTest, CommitRespectsMinAllowed) {
+  auto txn = db_.BeginTransaction();
+  txn->Put("T", "k", "v");
+  Timestamp min_allowed = clock_.NowMicros() + 1'000'000;
+  auto result = txn->Commit(min_allowed, kMaxTimestamp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->commit_ts, min_allowed);
+}
+
+TEST_F(SpannerTest, CommitFailsWhenMaxAllowedTooLow) {
+  Put("warm", "v");  // push the oracle forward
+  auto txn = db_.BeginTransaction();
+  txn->Put("T", "k", "v");
+  auto result = txn->Commit(0, 1);  // max below the oracle floor
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  // Failed commit leaves no trace.
+  EXPECT_FALSE(
+      db_.SnapshotRead("T", "k", db_.StrongReadTimestamp())->has_value());
+}
+
+TEST_F(SpannerTest, TransactionalMessagesDeliveredOnCommit) {
+  auto txn = db_.BeginTransaction();
+  txn->Put("T", "k", "v");
+  txn->AddMessage("triggers", "payload1");
+  auto result = txn->Commit();
+  ASSERT_TRUE(result.ok());
+  auto msg = db_.queue().Pop("triggers");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "payload1");
+  EXPECT_EQ(msg->commit_ts, result->commit_ts);
+}
+
+TEST_F(SpannerTest, AbortedTransactionMessagesDropped) {
+  auto txn = db_.BeginTransaction();
+  txn->AddMessage("triggers", "payload");
+  txn->Abort();
+  EXPECT_FALSE(db_.queue().Pop("triggers").has_value());
+}
+
+TEST_F(SpannerTest, TransactionScanMergesBufferedWrites) {
+  Put("a", "old");
+  Put("c", "keep");
+  auto txn = db_.BeginTransaction();
+  txn->Put("T", "a", "new");
+  txn->Put("T", "b", "insert");
+  txn->Delete("T", "c");
+  auto rows = txn->Scan("T", "", "");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].key, "a");
+  EXPECT_EQ((*rows)[0].value, "new");
+  EXPECT_EQ((*rows)[1].key, "b");
+}
+
+TEST_F(SpannerTest, WriteConflictSerializes) {
+  // Two transactions write the same key: the younger gets wounded or waits;
+  // the final state must be one of the two values with both commits ordered.
+  auto t1 = db_.BeginTransaction();
+  auto t2 = db_.BeginTransaction();
+  t1->Put("T", "k", "from-t1");
+  auto r1 = t1->Commit();
+  ASSERT_TRUE(r1.ok());
+  t2->Put("T", "k", "from-t2");
+  auto r2 = t2->Commit();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->commit_ts, r1->commit_ts);
+  EXPECT_EQ(**db_.SnapshotRead("T", "k", r2->commit_ts), "from-t2");
+}
+
+TEST_F(SpannerTest, OlderTransactionWoundsYoungerHolder) {
+  auto older = db_.BeginTransaction();
+  auto younger = db_.BeginTransaction();
+  ASSERT_LT(older->id(), younger->id());
+  // Younger takes the lock first.
+  ASSERT_TRUE(younger->Read("T", "k", LockMode::kExclusive).ok());
+  // Older requests the same lock from another thread; it must wound the
+  // younger and eventually acquire.
+  std::atomic<bool> acquired{false};
+  std::thread t([&] {
+    auto v = older->Read("T", "k", LockMode::kExclusive);
+    acquired = v.ok();
+  });
+  // The younger transaction now finds itself wounded.
+  Status s;
+  for (int i = 0; i < 100; ++i) {
+    s = younger->Read("T", "other", LockMode::kShared).status();
+    if (!s.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  younger->Abort();
+  t.join();
+  EXPECT_TRUE(acquired);
+  older->Abort();
+}
+
+TEST_F(SpannerTest, WoundedTransactionCannotCommit) {
+  auto older = db_.BeginTransaction();
+  auto younger = db_.BeginTransaction();
+  db_.lock_manager().Wound(younger->id());
+  younger->Put("T", "k", "x");
+  EXPECT_EQ(younger->Commit().status().code(), StatusCode::kAborted);
+  older->Abort();
+}
+
+TEST_F(SpannerTest, SharedLocksAllowConcurrentReaders) {
+  Put("k", "v");
+  auto t1 = db_.BeginTransaction();
+  auto t2 = db_.BeginTransaction();
+  EXPECT_TRUE(t1->Read("T", "k").ok());
+  EXPECT_TRUE(t2->Read("T", "k").ok());
+  t1->Abort();
+  t2->Abort();
+}
+
+TEST_F(SpannerTest, ConcurrentIncrementsAreSerializable) {
+  Put("counter", "0");
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<int> committed{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        while (true) {
+          auto txn = db_.BeginTransaction();
+          auto v = txn->Read("T", "counter", LockMode::kExclusive);
+          if (!v.ok()) continue;  // wounded: retry
+          int current = std::stoi(**v);
+          txn->Put("T", "counter", std::to_string(current + 1));
+          if (txn->Commit().ok()) {
+            ++committed;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(committed.load(), kThreads * kIncrementsPerThread);
+  auto v = db_.SnapshotRead("T", "counter", db_.StrongReadTimestamp());
+  EXPECT_EQ(**v, std::to_string(kThreads * kIncrementsPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// Tablets: splitting and participants
+
+TEST_F(SpannerTest, ExplicitSplitRoutesKeys) {
+  Put("apple", "1");
+  Put("mango", "2");
+  Table* table = db_.GetTable("T");
+  ASSERT_TRUE(table->SplitAt("h").ok());
+  EXPECT_EQ(table->tablet_count(), 2u);
+  EXPECT_EQ(table->TabletForKey("apple")->start_key(), "");
+  EXPECT_EQ(table->TabletForKey("mango")->start_key(), "h");
+  // Data still readable across the split.
+  EXPECT_EQ(**db_.SnapshotRead("T", "apple", db_.StrongReadTimestamp()), "1");
+  EXPECT_EQ(**db_.SnapshotRead("T", "mango", db_.StrongReadTimestamp()), "2");
+}
+
+TEST_F(SpannerTest, ScanCrossesTabletBoundaries) {
+  for (char c = 'a'; c <= 'f'; ++c) Put(std::string(1, c), "v");
+  Table* table = db_.GetTable("T");
+  ASSERT_TRUE(table->SplitAt("c").ok());
+  ASSERT_TRUE(table->SplitAt("e").ok());
+  auto rows = db_.SnapshotScan("T", "", "", db_.StrongReadTimestamp());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);
+  for (size_t i = 0; i + 1 < rows->size(); ++i) {
+    EXPECT_LT((*rows)[i].key, (*rows)[i + 1].key);
+  }
+}
+
+TEST_F(SpannerTest, LoadBasedSplitting) {
+  for (int i = 0; i < 200; ++i) Put("key" + std::to_string(i), "v");
+  Table* table = db_.GetTable("T");
+  EXPECT_EQ(table->tablet_count(), 1u);
+  int splits = db_.RunLoadSplitting(/*load_threshold=*/100);
+  EXPECT_GE(splits, 1);
+  EXPECT_GT(table->tablet_count(), 1u);
+}
+
+TEST_F(SpannerTest, ParticipantCountReflectsTabletsTouched) {
+  for (char c = 'a'; c <= 'f'; ++c) Put(std::string(1, c), "v");
+  Table* table = db_.GetTable("T");
+  ASSERT_TRUE(table->SplitAt("d").ok());
+  auto txn = db_.BeginTransaction();
+  txn->Put("T", "a", "1");
+  txn->Put("T", "b", "2");
+  auto single = txn->Commit();
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->participants, 1);
+  auto txn2 = db_.BeginTransaction();
+  txn2->Put("T", "a", "1");
+  txn2->Put("T", "e", "2");
+  auto multi = txn2->Commit();
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->participants, 2);
+}
+
+TEST_F(SpannerTest, GarbageCollectionDropsOldVersions) {
+  Put("k", "v1");
+  Put("k", "v2");
+  Timestamp t3 = Put("k", "v3");
+  int64_t dropped = db_.GarbageCollect(t3);
+  EXPECT_GE(dropped, 2);
+  EXPECT_EQ(**db_.SnapshotRead("T", "k", t3), "v3");
+}
+
+TEST_F(SpannerTest, GarbageCollectionRemovesDeadRows) {
+  Put("k", "v1");
+  auto txn = db_.BeginTransaction();
+  txn->Delete("T", "k");
+  auto result = txn->Commit();
+  ASSERT_TRUE(result.ok());
+  db_.GarbageCollect(result->commit_ts + 1);
+  auto rows = db_.SnapshotScan("T", "", "", db_.StrongReadTimestamp());
+  EXPECT_TRUE(rows->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Lock manager edges
+
+TEST(LockManagerTest, SharedToExclusiveUpgrade) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(1, "k", LockMode::kExclusive).ok());  // upgrade
+  // A second shared request now conflicts (would wait); use a timeout.
+  EXPECT_EQ(locks.Acquire(2, "k", LockMode::kShared, 50).code(),
+            StatusCode::kDeadlineExceeded);
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.Acquire(2, "k", LockMode::kShared, 50).ok());
+  locks.ReleaseAll(2);
+  EXPECT_EQ(locks.LockCount(), 0);
+}
+
+TEST(LockManagerTest, ExclusiveIsReentrant) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, "k", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, "k", LockMode::kShared).ok());
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.LockCount(), 0);
+}
+
+TEST(LockManagerTest, YoungerWaiterTimesOutInsteadOfWounding) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "k", LockMode::kExclusive).ok());
+  // Txn 2 is younger than the holder: wound-wait says it must wait.
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(locks.Acquire(2, "k", LockMode::kExclusive, 50).code(),
+            StatusCode::kDeadlineExceeded);
+  auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  EXPECT_GE(waited, 40);
+  EXPECT_FALSE(locks.IsWounded(1));  // older holder is never wounded
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ReleaseAllClearsWoundedFlag) {
+  LockManager locks;
+  locks.Wound(7);
+  EXPECT_TRUE(locks.IsWounded(7));
+  EXPECT_EQ(locks.Acquire(7, "k", LockMode::kShared).code(),
+            StatusCode::kAborted);
+  locks.ReleaseAll(7);
+  EXPECT_FALSE(locks.IsWounded(7));
+  EXPECT_TRUE(locks.Acquire(7, "k", LockMode::kShared).ok());
+  locks.ReleaseAll(7);
+}
+
+// ---------------------------------------------------------------------------
+// TrueTime / oracle
+
+TEST(TrueTimeTest, IntervalBracketsClock) {
+  ManualClock clock(5000);
+  TrueTime tt(&clock, 100);
+  TrueTimeInterval now = tt.Now();
+  EXPECT_EQ(now.earliest, 4900);
+  EXPECT_EQ(now.latest, 5100);
+}
+
+TEST(TimestampOracleTest, MonotonicAcrossClockStalls) {
+  ManualClock clock(1000);
+  TimestampOracle oracle(&clock);
+  auto t1 = oracle.Allocate(0, kMaxTimestamp);
+  auto t2 = oracle.Allocate(0, kMaxTimestamp);  // clock did not move
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_GT(*t2, *t1);
+}
+
+TEST(TimestampOracleTest, RespectsWindow) {
+  ManualClock clock(1000);
+  TimestampOracle oracle(&clock);
+  EXPECT_EQ(oracle.Allocate(5000, 6000).value(), 5000);
+  EXPECT_EQ(oracle.Allocate(0, 4000).status().code(), StatusCode::kAborted);
+}
+
+}  // namespace
+}  // namespace firestore::spanner
