@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_auto_index_cost.dir/ablation_auto_index_cost.cc.o"
+  "CMakeFiles/ablation_auto_index_cost.dir/ablation_auto_index_cost.cc.o.d"
+  "ablation_auto_index_cost"
+  "ablation_auto_index_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_auto_index_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_qos.dir/ablation_batch_qos.cc.o"
+  "CMakeFiles/ablation_batch_qos.dir/ablation_batch_qos.cc.o.d"
+  "ablation_batch_qos"
+  "ablation_batch_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

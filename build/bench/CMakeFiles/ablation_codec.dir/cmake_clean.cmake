@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codec.dir/ablation_codec.cc.o"
+  "CMakeFiles/ablation_codec.dir/ablation_codec.cc.o.d"
+  "ablation_codec"
+  "ablation_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hotspot_sequential.dir/ablation_hotspot_sequential.cc.o"
+  "CMakeFiles/ablation_hotspot_sequential.dir/ablation_hotspot_sequential.cc.o.d"
+  "ablation_hotspot_sequential"
+  "ablation_hotspot_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hotspot_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

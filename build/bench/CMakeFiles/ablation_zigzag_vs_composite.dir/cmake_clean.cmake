@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zigzag_vs_composite.dir/ablation_zigzag_vs_composite.cc.o"
+  "CMakeFiles/ablation_zigzag_vs_composite.dir/ablation_zigzag_vs_composite.cc.o.d"
+  "ablation_zigzag_vs_composite"
+  "ablation_zigzag_vs_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zigzag_vs_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

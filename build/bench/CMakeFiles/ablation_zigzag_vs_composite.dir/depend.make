@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_zigzag_vs_composite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_data_shape.dir/fig10_data_shape.cc.o"
+  "CMakeFiles/fig10_data_shape.dir/fig10_data_shape.cc.o.d"
+  "fig10_data_shape"
+  "fig10_data_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_data_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

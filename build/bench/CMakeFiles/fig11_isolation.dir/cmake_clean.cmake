@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_isolation.dir/fig11_isolation.cc.o"
+  "CMakeFiles/fig11_isolation.dir/fig11_isolation.cc.o.d"
+  "fig11_isolation"
+  "fig11_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_production_variance.dir/fig6_production_variance.cc.o"
+  "CMakeFiles/fig6_production_variance.dir/fig6_production_variance.cc.o.d"
+  "fig6_production_variance"
+  "fig6_production_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_production_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ycsb_read_latency.dir/fig7_ycsb_read_latency.cc.o"
+  "CMakeFiles/fig7_ycsb_read_latency.dir/fig7_ycsb_read_latency.cc.o.d"
+  "fig7_ycsb_read_latency"
+  "fig7_ycsb_read_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ycsb_read_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ycsb_update_latency.dir/fig8_ycsb_update_latency.cc.o"
+  "CMakeFiles/fig8_ycsb_update_latency.dir/fig8_ycsb_update_latency.cc.o.d"
+  "fig8_ycsb_update_latency"
+  "fig8_ycsb_update_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ycsb_update_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_notification_fanout.dir/fig9_notification_fanout.cc.o"
+  "CMakeFiles/fig9_notification_fanout.dir/fig9_notification_fanout.cc.o.d"
+  "fig9_notification_fanout"
+  "fig9_notification_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_notification_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_scoreboard.dir/live_scoreboard.cpp.o"
+  "CMakeFiles/example_live_scoreboard.dir/live_scoreboard.cpp.o.d"
+  "example_live_scoreboard"
+  "example_live_scoreboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_offline_notes.dir/offline_notes.cpp.o"
+  "CMakeFiles/example_offline_notes.dir/offline_notes.cpp.o.d"
+  "example_offline_notes"
+  "example_offline_notes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_offline_notes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ops_tooling.dir/ops_tooling.cpp.o"
+  "CMakeFiles/example_ops_tooling.dir/ops_tooling.cpp.o.d"
+  "example_ops_tooling"
+  "example_ops_tooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ops_tooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_restaurant_reviews.dir/restaurant_reviews.cpp.o"
+  "CMakeFiles/example_restaurant_reviews.dir/restaurant_reviews.cpp.o.d"
+  "example_restaurant_reviews"
+  "example_restaurant_reviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_restaurant_reviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

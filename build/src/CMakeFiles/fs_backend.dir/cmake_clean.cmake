@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_backend.dir/backend/admission.cc.o"
+  "CMakeFiles/fs_backend.dir/backend/admission.cc.o.d"
+  "CMakeFiles/fs_backend.dir/backend/billing.cc.o"
+  "CMakeFiles/fs_backend.dir/backend/billing.cc.o.d"
+  "CMakeFiles/fs_backend.dir/backend/committer.cc.o"
+  "CMakeFiles/fs_backend.dir/backend/committer.cc.o.d"
+  "CMakeFiles/fs_backend.dir/backend/read_service.cc.o"
+  "CMakeFiles/fs_backend.dir/backend/read_service.cc.o.d"
+  "CMakeFiles/fs_backend.dir/backend/validation.cc.o"
+  "CMakeFiles/fs_backend.dir/backend/validation.cc.o.d"
+  "libfs_backend.a"
+  "libfs_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

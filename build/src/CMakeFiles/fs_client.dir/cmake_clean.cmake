@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_client.dir/client/client.cc.o"
+  "CMakeFiles/fs_client.dir/client/client.cc.o.d"
+  "CMakeFiles/fs_client.dir/client/local_store.cc.o"
+  "CMakeFiles/fs_client.dir/client/local_store.cc.o.d"
+  "libfs_client.a"
+  "libfs_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

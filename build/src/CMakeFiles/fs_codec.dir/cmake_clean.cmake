@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_codec.dir/firestore/codec/document_codec.cc.o"
+  "CMakeFiles/fs_codec.dir/firestore/codec/document_codec.cc.o.d"
+  "CMakeFiles/fs_codec.dir/firestore/codec/ordered_code.cc.o"
+  "CMakeFiles/fs_codec.dir/firestore/codec/ordered_code.cc.o.d"
+  "CMakeFiles/fs_codec.dir/firestore/codec/value_codec.cc.o"
+  "CMakeFiles/fs_codec.dir/firestore/codec/value_codec.cc.o.d"
+  "libfs_codec.a"
+  "libfs_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

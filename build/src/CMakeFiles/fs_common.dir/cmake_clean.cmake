@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_common.dir/common/bytes.cc.o"
+  "CMakeFiles/fs_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/fs_common.dir/common/checksum.cc.o"
+  "CMakeFiles/fs_common.dir/common/checksum.cc.o.d"
+  "CMakeFiles/fs_common.dir/common/histogram.cc.o"
+  "CMakeFiles/fs_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/fs_common.dir/common/logging.cc.o"
+  "CMakeFiles/fs_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/fs_common.dir/common/random.cc.o"
+  "CMakeFiles/fs_common.dir/common/random.cc.o.d"
+  "CMakeFiles/fs_common.dir/common/status.cc.o"
+  "CMakeFiles/fs_common.dir/common/status.cc.o.d"
+  "libfs_common.a"
+  "libfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

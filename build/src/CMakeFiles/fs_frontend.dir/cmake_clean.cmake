@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_frontend.dir/frontend/frontend.cc.o"
+  "CMakeFiles/fs_frontend.dir/frontend/frontend.cc.o.d"
+  "libfs_frontend.a"
+  "libfs_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

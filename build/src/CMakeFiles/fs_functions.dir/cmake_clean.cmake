@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_functions.dir/functions/functions.cc.o"
+  "CMakeFiles/fs_functions.dir/functions/functions.cc.o.d"
+  "libfs_functions.a"
+  "libfs_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firestore/index/backfill.cc" "src/CMakeFiles/fs_index.dir/firestore/index/backfill.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/firestore/index/backfill.cc.o.d"
+  "/root/repo/src/firestore/index/catalog.cc" "src/CMakeFiles/fs_index.dir/firestore/index/catalog.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/firestore/index/catalog.cc.o.d"
+  "/root/repo/src/firestore/index/extractor.cc" "src/CMakeFiles/fs_index.dir/firestore/index/extractor.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/firestore/index/extractor.cc.o.d"
+  "/root/repo/src/firestore/index/layout.cc" "src/CMakeFiles/fs_index.dir/firestore/index/layout.cc.o" "gcc" "src/CMakeFiles/fs_index.dir/firestore/index/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_spanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

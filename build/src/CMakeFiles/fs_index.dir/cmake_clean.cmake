@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_index.dir/firestore/index/backfill.cc.o"
+  "CMakeFiles/fs_index.dir/firestore/index/backfill.cc.o.d"
+  "CMakeFiles/fs_index.dir/firestore/index/catalog.cc.o"
+  "CMakeFiles/fs_index.dir/firestore/index/catalog.cc.o.d"
+  "CMakeFiles/fs_index.dir/firestore/index/extractor.cc.o"
+  "CMakeFiles/fs_index.dir/firestore/index/extractor.cc.o.d"
+  "CMakeFiles/fs_index.dir/firestore/index/layout.cc.o"
+  "CMakeFiles/fs_index.dir/firestore/index/layout.cc.o.d"
+  "libfs_index.a"
+  "libfs_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

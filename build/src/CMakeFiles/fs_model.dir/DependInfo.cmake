@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firestore/model/document.cc" "src/CMakeFiles/fs_model.dir/firestore/model/document.cc.o" "gcc" "src/CMakeFiles/fs_model.dir/firestore/model/document.cc.o.d"
+  "/root/repo/src/firestore/model/path.cc" "src/CMakeFiles/fs_model.dir/firestore/model/path.cc.o" "gcc" "src/CMakeFiles/fs_model.dir/firestore/model/path.cc.o.d"
+  "/root/repo/src/firestore/model/value.cc" "src/CMakeFiles/fs_model.dir/firestore/model/value.cc.o" "gcc" "src/CMakeFiles/fs_model.dir/firestore/model/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_model.dir/firestore/model/document.cc.o"
+  "CMakeFiles/fs_model.dir/firestore/model/document.cc.o.d"
+  "CMakeFiles/fs_model.dir/firestore/model/path.cc.o"
+  "CMakeFiles/fs_model.dir/firestore/model/path.cc.o.d"
+  "CMakeFiles/fs_model.dir/firestore/model/value.cc.o"
+  "CMakeFiles/fs_model.dir/firestore/model/value.cc.o.d"
+  "libfs_model.a"
+  "libfs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

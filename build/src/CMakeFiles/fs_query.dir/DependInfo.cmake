@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firestore/query/ab_compare.cc" "src/CMakeFiles/fs_query.dir/firestore/query/ab_compare.cc.o" "gcc" "src/CMakeFiles/fs_query.dir/firestore/query/ab_compare.cc.o.d"
+  "/root/repo/src/firestore/query/executor.cc" "src/CMakeFiles/fs_query.dir/firestore/query/executor.cc.o" "gcc" "src/CMakeFiles/fs_query.dir/firestore/query/executor.cc.o.d"
+  "/root/repo/src/firestore/query/planner.cc" "src/CMakeFiles/fs_query.dir/firestore/query/planner.cc.o" "gcc" "src/CMakeFiles/fs_query.dir/firestore/query/planner.cc.o.d"
+  "/root/repo/src/firestore/query/query.cc" "src/CMakeFiles/fs_query.dir/firestore/query/query.cc.o" "gcc" "src/CMakeFiles/fs_query.dir/firestore/query/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_spanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

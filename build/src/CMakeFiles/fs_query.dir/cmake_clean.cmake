@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_query.dir/firestore/query/ab_compare.cc.o"
+  "CMakeFiles/fs_query.dir/firestore/query/ab_compare.cc.o.d"
+  "CMakeFiles/fs_query.dir/firestore/query/executor.cc.o"
+  "CMakeFiles/fs_query.dir/firestore/query/executor.cc.o.d"
+  "CMakeFiles/fs_query.dir/firestore/query/planner.cc.o"
+  "CMakeFiles/fs_query.dir/firestore/query/planner.cc.o.d"
+  "CMakeFiles/fs_query.dir/firestore/query/query.cc.o"
+  "CMakeFiles/fs_query.dir/firestore/query/query.cc.o.d"
+  "libfs_query.a"
+  "libfs_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtcache/changelog.cc" "src/CMakeFiles/fs_rtcache.dir/rtcache/changelog.cc.o" "gcc" "src/CMakeFiles/fs_rtcache.dir/rtcache/changelog.cc.o.d"
+  "/root/repo/src/rtcache/query_matcher.cc" "src/CMakeFiles/fs_rtcache.dir/rtcache/query_matcher.cc.o" "gcc" "src/CMakeFiles/fs_rtcache.dir/rtcache/query_matcher.cc.o.d"
+  "/root/repo/src/rtcache/range_ownership.cc" "src/CMakeFiles/fs_rtcache.dir/rtcache/range_ownership.cc.o" "gcc" "src/CMakeFiles/fs_rtcache.dir/rtcache/range_ownership.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_spanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_rtcache.dir/rtcache/changelog.cc.o"
+  "CMakeFiles/fs_rtcache.dir/rtcache/changelog.cc.o.d"
+  "CMakeFiles/fs_rtcache.dir/rtcache/query_matcher.cc.o"
+  "CMakeFiles/fs_rtcache.dir/rtcache/query_matcher.cc.o.d"
+  "CMakeFiles/fs_rtcache.dir/rtcache/range_ownership.cc.o"
+  "CMakeFiles/fs_rtcache.dir/rtcache/range_ownership.cc.o.d"
+  "libfs_rtcache.a"
+  "libfs_rtcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_rtcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firestore/rules/eval.cc" "src/CMakeFiles/fs_rules.dir/firestore/rules/eval.cc.o" "gcc" "src/CMakeFiles/fs_rules.dir/firestore/rules/eval.cc.o.d"
+  "/root/repo/src/firestore/rules/parser.cc" "src/CMakeFiles/fs_rules.dir/firestore/rules/parser.cc.o" "gcc" "src/CMakeFiles/fs_rules.dir/firestore/rules/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_rules.dir/firestore/rules/eval.cc.o"
+  "CMakeFiles/fs_rules.dir/firestore/rules/eval.cc.o.d"
+  "CMakeFiles/fs_rules.dir/firestore/rules/parser.cc.o"
+  "CMakeFiles/fs_rules.dir/firestore/rules/parser.cc.o.d"
+  "libfs_rules.a"
+  "libfs_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

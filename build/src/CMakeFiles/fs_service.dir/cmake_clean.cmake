@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_service.dir/service/datastore_api.cc.o"
+  "CMakeFiles/fs_service.dir/service/datastore_api.cc.o.d"
+  "CMakeFiles/fs_service.dir/service/global_router.cc.o"
+  "CMakeFiles/fs_service.dir/service/global_router.cc.o.d"
+  "CMakeFiles/fs_service.dir/service/service.cc.o"
+  "CMakeFiles/fs_service.dir/service/service.cc.o.d"
+  "libfs_service.a"
+  "libfs_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_sim.dir/sim/autoscaler.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/autoscaler.cc.o.d"
+  "CMakeFiles/fs_sim.dir/sim/cpu_server.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/cpu_server.cc.o.d"
+  "CMakeFiles/fs_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/simulation.cc.o.d"
+  "libfs_sim.a"
+  "libfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

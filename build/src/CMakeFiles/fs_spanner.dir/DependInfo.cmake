@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spanner/database.cc" "src/CMakeFiles/fs_spanner.dir/spanner/database.cc.o" "gcc" "src/CMakeFiles/fs_spanner.dir/spanner/database.cc.o.d"
+  "/root/repo/src/spanner/lock_manager.cc" "src/CMakeFiles/fs_spanner.dir/spanner/lock_manager.cc.o" "gcc" "src/CMakeFiles/fs_spanner.dir/spanner/lock_manager.cc.o.d"
+  "/root/repo/src/spanner/message_queue.cc" "src/CMakeFiles/fs_spanner.dir/spanner/message_queue.cc.o" "gcc" "src/CMakeFiles/fs_spanner.dir/spanner/message_queue.cc.o.d"
+  "/root/repo/src/spanner/storage.cc" "src/CMakeFiles/fs_spanner.dir/spanner/storage.cc.o" "gcc" "src/CMakeFiles/fs_spanner.dir/spanner/storage.cc.o.d"
+  "/root/repo/src/spanner/truetime.cc" "src/CMakeFiles/fs_spanner.dir/spanner/truetime.cc.o" "gcc" "src/CMakeFiles/fs_spanner.dir/spanner/truetime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

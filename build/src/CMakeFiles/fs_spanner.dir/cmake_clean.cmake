@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_spanner.dir/spanner/database.cc.o"
+  "CMakeFiles/fs_spanner.dir/spanner/database.cc.o.d"
+  "CMakeFiles/fs_spanner.dir/spanner/lock_manager.cc.o"
+  "CMakeFiles/fs_spanner.dir/spanner/lock_manager.cc.o.d"
+  "CMakeFiles/fs_spanner.dir/spanner/message_queue.cc.o"
+  "CMakeFiles/fs_spanner.dir/spanner/message_queue.cc.o.d"
+  "CMakeFiles/fs_spanner.dir/spanner/storage.cc.o"
+  "CMakeFiles/fs_spanner.dir/spanner/storage.cc.o.d"
+  "CMakeFiles/fs_spanner.dir/spanner/truetime.cc.o"
+  "CMakeFiles/fs_spanner.dir/spanner/truetime.cc.o.d"
+  "libfs_spanner.a"
+  "libfs_spanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_spanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_ycsb.dir/ycsb/ycsb.cc.o"
+  "CMakeFiles/fs_ycsb.dir/ycsb/ycsb.cc.o.d"
+  "libfs_ycsb.a"
+  "libfs_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

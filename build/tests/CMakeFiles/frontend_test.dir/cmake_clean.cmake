@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_test.dir/frontend_test.cc.o"
+  "CMakeFiles/frontend_test.dir/frontend_test.cc.o.d"
+  "frontend_test"
+  "frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

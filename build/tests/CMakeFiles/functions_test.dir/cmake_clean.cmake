@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functions_test.dir/functions_test.cc.o"
+  "CMakeFiles/functions_test.dir/functions_test.cc.o.d"
+  "functions_test"
+  "functions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_spanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_rtcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_ycsb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

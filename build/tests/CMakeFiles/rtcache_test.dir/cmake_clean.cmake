@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtcache_test.dir/rtcache_test.cc.o"
+  "CMakeFiles/rtcache_test.dir/rtcache_test.cc.o.d"
+  "rtcache_test"
+  "rtcache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

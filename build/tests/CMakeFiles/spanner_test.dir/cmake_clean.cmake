@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanner_test.dir/spanner_test.cc.o"
+  "CMakeFiles/spanner_test.dir/spanner_test.cc.o.d"
+  "spanner_test"
+  "spanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
