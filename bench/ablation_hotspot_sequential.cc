@@ -58,8 +58,8 @@ HotspotResult Run(bool sequential) {
   result.tablets = table->tablet_count();
   int64_t total = 0, hottest = 0;
   for (const auto& tablet : table->tablets()) {
-    total += tablet->stats().writes;
-    hottest = std::max(hottest, tablet->stats().writes);
+    total += tablet->stats().writes.load();
+    hottest = std::max(hottest, tablet->stats().writes.load());
   }
   result.max_load_share =
       total > 0 ? static_cast<double>(hottest) / static_cast<double>(total)

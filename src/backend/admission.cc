@@ -6,7 +6,7 @@
 namespace firestore::backend {
 
 bool TrafficRampTracker::Record(const std::string& database_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Micros now = clock_->NowMicros();
   State& state = per_db_[database_id];
   if (state.recent.empty()) state.ramp_start = now;
@@ -25,7 +25,7 @@ bool TrafficRampTracker::Record(const std::string& database_id) {
 }
 
 double TrafficRampTracker::AllowedQps(const std::string& database_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = per_db_.find(database_id);
   if (it == per_db_.end()) return options_.base_qps;
   double periods =
@@ -35,7 +35,7 @@ double TrafficRampTracker::AllowedQps(const std::string& database_id) const {
 }
 
 double TrafficRampTracker::CurrentQps(const std::string& database_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = per_db_.find(database_id);
   if (it == per_db_.end()) return 0;
   Micros now = clock_->NowMicros();
@@ -56,7 +56,7 @@ void AdmissionController::Ticket::Release() {
 
 StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
     const std::string& database_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int limit = options_.default_inflight_limit;
   auto it = limits_.find(database_id);
   if (it != limits_.end()) limit = it->second;
@@ -71,49 +71,49 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
 }
 
 void AdmissionController::ReleaseOne(const std::string& database_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = inflight_.find(database_id);
   if (it != inflight_.end() && it->second > 0) --it->second;
 }
 
 void AdmissionController::SetInflightLimit(const std::string& database_id,
                                            int limit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   limits_[database_id] = limit;
 }
 
 void AdmissionController::ClearInflightLimit(
     const std::string& database_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   limits_.erase(database_id);
 }
 
 void AdmissionController::RouteToIsolatedPool(const std::string& database_id,
                                               const std::string& pool_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pools_[database_id] = pool_name;
 }
 
 void AdmissionController::ClearIsolatedPool(const std::string& database_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pools_.erase(database_id);
 }
 
 std::string AdmissionController::PoolFor(
     const std::string& database_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = pools_.find(database_id);
   return it == pools_.end() ? "default" : it->second;
 }
 
 int AdmissionController::inflight(const std::string& database_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = inflight_.find(database_id);
   return it == inflight_.end() ? 0 : it->second;
 }
 
 int64_t AdmissionController::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rejected_;
 }
 

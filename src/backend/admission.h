@@ -17,11 +17,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace firestore::backend {
 
@@ -59,8 +59,8 @@ class TrafficRampTracker {
 
   const Clock* clock_;
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, State> per_db_;
+  mutable Mutex mu_;
+  std::map<std::string, State> per_db_ FS_GUARDED_BY(mu_);
 };
 
 // Per-database in-flight RPC limiter + isolated-pool routing flags. The
@@ -126,11 +126,11 @@ class AdmissionController {
   void ReleaseOne(const std::string& database_id);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, int> inflight_;
-  std::map<std::string, int> limits_;
-  std::map<std::string, std::string> pools_;
-  int64_t rejected_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, int> inflight_ FS_GUARDED_BY(mu_);
+  std::map<std::string, int> limits_ FS_GUARDED_BY(mu_);
+  std::map<std::string, std::string> pools_ FS_GUARDED_BY(mu_);
+  int64_t rejected_ FS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace firestore::backend

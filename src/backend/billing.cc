@@ -6,36 +6,36 @@ namespace firestore::backend {
 
 void BillingLedger::RecordReads(const std::string& database_id,
                                 int64_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   usage_[database_id].document_reads += count;
 }
 
 void BillingLedger::RecordWrites(const std::string& database_id,
                                  int64_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   usage_[database_id].document_writes += count;
 }
 
 void BillingLedger::RecordDeletes(const std::string& database_id,
                                   int64_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   usage_[database_id].document_deletes += count;
 }
 
 void BillingLedger::RecordRealtimeUpdates(const std::string& database_id,
                                           int64_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   usage_[database_id].realtime_updates += count;
 }
 
 void BillingLedger::AdjustStorage(const std::string& database_id,
                                   int64_t delta_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   usage_[database_id].storage_bytes += delta_bytes;
 }
 
 UsageCounters BillingLedger::Usage(const std::string& database_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = usage_.find(database_id);
   return it == usage_.end() ? UsageCounters() : it->second;
 }
@@ -60,7 +60,7 @@ double BillingLedger::BillableMicrosToday(const std::string& database_id,
 }
 
 void BillingLedger::ResetDay() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [id, u] : usage_) {
     u.document_reads = 0;
     u.document_writes = 0;

@@ -7,8 +7,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace firestore::backend {
 
@@ -60,8 +61,8 @@ class BillingLedger {
 
  private:
   FreeQuota quota_;
-  mutable std::mutex mu_;
-  std::map<std::string, UsageCounters> usage_;
+  mutable Mutex mu_;
+  std::map<std::string, UsageCounters> usage_ FS_GUARDED_BY(mu_);
 };
 
 }  // namespace firestore::backend

@@ -4,6 +4,7 @@
 #ifndef FIRESTORE_COMMON_CLOCK_H_
 #define FIRESTORE_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -34,12 +35,17 @@ class ManualClock : public Clock {
  public:
   explicit ManualClock(Micros start = 0) : now_(start) {}
 
-  Micros NowMicros() const override { return now_; }
-  void AdvanceTo(Micros t) { now_ = t; }
-  void AdvanceBy(Micros delta) { now_ += delta; }
+  Micros NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceTo(Micros t) { now_.store(t, std::memory_order_relaxed); }
+  void AdvanceBy(Micros delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
 
  private:
-  Micros now_;
+  // Atomic so stress tests can advance time while worker threads read it.
+  std::atomic<Micros> now_;
 };
 
 }  // namespace firestore

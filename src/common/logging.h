@@ -41,6 +41,15 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Absorbs a stream expression into a void so CHECK macros can be a single
+// well-formed expression statement (glog's LogMessageVoidify idiom).
+// operator& binds lower than << but higher than ?:, which is exactly the
+// precedence the FS_CHECK expansion needs.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal_logging
 }  // namespace firestore
 
@@ -69,8 +78,13 @@ class LogMessage {
 
 // CHECK aborts the process when the condition does not hold. These guard
 // internal invariants, not user input (user input yields Status errors).
-#define FS_CHECK(cond) \
-  if (!(cond)) FS_LOG(FATAL) << "Check failed: " #cond " "
+// The ternary/voidify expansion makes `FS_CHECK(x);` one well-formed
+// statement, so it nests safely under unbraced if/else (the naive
+// `if (!(cond)) FS_LOG(FATAL)` form is a dangling-else hazard).
+#define FS_CHECK(cond)                                 \
+  (cond) ? (void)0                                     \
+         : ::firestore::internal_logging::Voidify() &  \
+               FS_LOG(FATAL) << "Check failed: " #cond " "
 
 #define FS_CHECK_EQ(a, b) FS_CHECK((a) == (b))
 #define FS_CHECK_NE(a, b) FS_CHECK((a) != (b))

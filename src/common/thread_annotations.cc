@@ -1,0 +1,104 @@
+#include "common/thread_annotations.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace firestore {
+
+namespace {
+
+std::atomic<bool> g_lock_order_enabled{false};
+
+// Global acquisition-order graph. Edge (a, b) means "a was held while b was
+// acquired". Guarded by its own plain std::mutex (never a firestore::Mutex,
+// which would recurse into the checker).
+struct Registry {
+  std::mutex mu;
+  std::set<std::pair<const void*, const void*>> edges;
+};
+
+Registry& GetRegistry() {
+  // Leaked intentionally: mutexes may be destroyed during static teardown.
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+// Locks held by the calling thread, in acquisition order. Shared and
+// exclusive holds are tracked alike; the checker is deliberately stricter
+// than strictly necessary for reader locks, which keeps the discipline
+// simple: one global acquisition order, whatever the mode.
+thread_local std::vector<const void*> t_held;
+
+}  // namespace
+
+void LockOrderChecker::SetEnabled(bool enabled) {
+  g_lock_order_enabled.store(enabled, std::memory_order_relaxed);
+  if (!enabled) {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.edges.clear();
+  }
+}
+
+bool LockOrderChecker::enabled() {
+  return g_lock_order_enabled.load(std::memory_order_relaxed);
+}
+
+void LockOrderChecker::BeforeAcquire(const void* mu, const char* kind) {
+  // Recursive acquisition of these non-recursive mutexes is always a bug and
+  // would deadlock (or be UB); catch it before blocking. SharedMutex
+  // shared-after-shared reacquisition is also flagged: it deadlocks when a
+  // writer queues between the two reader acquisitions.
+  if (std::find(t_held.begin(), t_held.end(), mu) != t_held.end()) {
+    FS_LOG(FATAL) << "recursive acquisition of " << kind << " @" << mu
+                  << " on the same thread (self-deadlock)";
+  }
+  if (!enabled() || t_held.empty()) return;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const void* held : t_held) {
+    if (registry.edges.count({mu, held}) != 0) {
+      FS_LOG(FATAL) << "lock-order inversion: acquiring " << kind << " @"
+                    << mu << " while holding @" << held
+                    << ", but the opposite order was observed earlier "
+                       "(potential deadlock)";
+    }
+    registry.edges.emplace(held, mu);
+  }
+}
+
+void LockOrderChecker::AfterAcquire(const void* mu) { t_held.push_back(mu); }
+
+void LockOrderChecker::OnRelease(const void* mu) {
+  // Locks are usually released in LIFO order; search from the back.
+  auto it = std::find(t_held.rbegin(), t_held.rend(), mu);
+  if (it == t_held.rend()) {
+    FS_LOG(FATAL) << "releasing mutex @" << mu
+                  << " not held by this thread";
+  }
+  t_held.erase(std::next(it).base());
+}
+
+void LockOrderChecker::OnDestroy(const void* mu) {
+  if (!enabled()) return;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto it = registry.edges.begin(); it != registry.edges.end();) {
+    if (it->first == mu || it->second == mu) {
+      it = registry.edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockOrderChecker::HeldByThisThread(const void* mu) {
+  return std::find(t_held.begin(), t_held.end(), mu) != t_held.end();
+}
+
+}  // namespace firestore

@@ -28,13 +28,13 @@ std::string IndexDefinition::DebugString() const {
 
 void IndexCatalog::AddExemption(const std::string& collection_id,
                                 const model::FieldPath& field) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   exemptions_.emplace(collection_id, field.CanonicalString());
 }
 
 bool IndexCatalog::IsExempted(const std::string& collection_id,
                               const model::FieldPath& field) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return exemptions_.count({collection_id, field.CanonicalString()}) != 0;
 }
 
@@ -43,7 +43,7 @@ IndexId IndexCatalog::NextIdLocked() { return next_id_++; }
 std::optional<IndexDefinition> IndexCatalog::AutoIndex(
     const std::string& collection_id, const model::FieldPath& field,
     SegmentKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (exemptions_.count({collection_id, field.CanonicalString()}) != 0) {
     return std::nullopt;
   }
@@ -75,7 +75,7 @@ StatusOr<IndexId> IndexCatalog::AddCompositeIndex(
           "array-contains is only supported in single-field indexes");
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Reject exact duplicates.
   for (const auto& [id, def] : indexes_) {
     if (def.collection_id == collection_id && def.segments == segments &&
@@ -96,7 +96,7 @@ StatusOr<IndexId> IndexCatalog::AddCompositeIndex(
 }
 
 Status IndexCatalog::SetIndexState(IndexId index_id, IndexState state) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = indexes_.find(index_id);
   if (it == indexes_.end()) return NotFoundError("no such index");
   it->second.state = state;
@@ -104,7 +104,7 @@ Status IndexCatalog::SetIndexState(IndexId index_id, IndexState state) {
 }
 
 Status IndexCatalog::RemoveIndex(IndexId index_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = indexes_.find(index_id);
   if (it == indexes_.end()) return NotFoundError("no such index");
   // Drop any auto-id mapping pointing at it.
@@ -119,7 +119,7 @@ Status IndexCatalog::RemoveIndex(IndexId index_id) {
 }
 
 std::optional<IndexDefinition> IndexCatalog::GetIndex(IndexId index_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = indexes_.find(index_id);
   if (it == indexes_.end()) return std::nullopt;
   return it->second;
@@ -127,7 +127,7 @@ std::optional<IndexDefinition> IndexCatalog::GetIndex(IndexId index_id) const {
 
 std::vector<IndexDefinition> IndexCatalog::ActiveIndexes(
     const std::string& collection_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<IndexDefinition> result;
   for (const auto& [id, def] : indexes_) {
     if (def.collection_id != collection_id ||
@@ -148,7 +148,7 @@ std::vector<IndexDefinition> IndexCatalog::ActiveIndexes(
 
 std::vector<IndexDefinition> IndexCatalog::MaintainedIndexes(
     const std::string& collection_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<IndexDefinition> result;
   for (const auto& [id, def] : indexes_) {
     if (def.collection_id == collection_id) result.push_back(def);
@@ -158,7 +158,7 @@ std::vector<IndexDefinition> IndexCatalog::MaintainedIndexes(
 
 std::vector<IndexId> IndexCatalog::ExistingAutoIndexIds(
     const std::string& collection_id, const model::FieldPath& field) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<IndexId> ids;
   for (SegmentKind kind : {SegmentKind::kAscending, SegmentKind::kDescending,
                            SegmentKind::kArrayContains}) {
@@ -170,7 +170,7 @@ std::vector<IndexId> IndexCatalog::ExistingAutoIndexIds(
 }
 
 std::vector<IndexDefinition> IndexCatalog::AllIndexes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<IndexDefinition> result;
   for (const auto& [id, def] : indexes_) result.push_back(def);
   return result;

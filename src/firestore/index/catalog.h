@@ -12,13 +12,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "firestore/index/index_definition.h"
 
 namespace firestore::index {
@@ -80,15 +80,16 @@ class IndexCatalog {
       const std::string& collection_id, const model::FieldPath& field) const;
 
  private:
-  IndexId NextIdLocked();
+  IndexId NextIdLocked() FS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  IndexId next_id_ = 1;
-  std::map<IndexId, IndexDefinition> indexes_;
+  mutable Mutex mu_;
+  IndexId next_id_ FS_GUARDED_BY(mu_) = 1;
+  std::map<IndexId, IndexDefinition> indexes_ FS_GUARDED_BY(mu_);
   // (collection, field canonical, kind) -> id for automatic indexes.
   std::map<std::tuple<std::string, std::string, SegmentKind>, IndexId>
-      auto_ids_;
-  std::set<std::pair<std::string, std::string>> exemptions_;
+      auto_ids_ FS_GUARDED_BY(mu_);
+  std::set<std::pair<std::string, std::string>> exemptions_
+      FS_GUARDED_BY(mu_);
 };
 
 }  // namespace firestore::index

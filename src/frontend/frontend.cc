@@ -24,7 +24,7 @@ Frontend::Frontend(const Clock* clock, backend::ReadService* reader,
 
 Frontend::ConnectionId Frontend::OpenConnection(
     const std::string& database_id, rules::AuthContext auth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ConnectionId id = next_id_++;
   connections_[id] = Connection{database_id, std::move(auth), false, {}};
   return id;
@@ -32,7 +32,7 @@ Frontend::ConnectionId Frontend::OpenConnection(
 
 Frontend::ConnectionId Frontend::OpenPrivilegedConnection(
     const std::string& database_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ConnectionId id = next_id_++;
   connections_[id] = Connection{database_id, {}, true, {}};
   return id;
@@ -41,7 +41,7 @@ Frontend::ConnectionId Frontend::OpenPrivilegedConnection(
 void Frontend::CloseConnection(ConnectionId connection) {
   std::vector<uint64_t> to_unsubscribe;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = connections_.find(connection);
     if (it == connections_.end()) return;
     for (TargetId t : it->second.targets) {
@@ -64,7 +64,7 @@ StatusOr<Frontend::TargetId> Frontend::Listen(ConnectionId connection,
   SnapshotCallback cb_copy;
   TargetId id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto conn = connections_.find(connection);
     if (conn == connections_.end()) {
       return NotFoundError("no such connection");
@@ -90,7 +90,7 @@ StatusOr<Frontend::TargetId> Frontend::Listen(ConnectionId connection,
 Status Frontend::StopListen(ConnectionId connection, TargetId target_id) {
   uint64_t sub = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = targets_.find(target_id);
     if (it == targets_.end() || it->second.connection != connection) {
       return NotFoundError("no such listen target");
@@ -168,7 +168,7 @@ StatusOr<QuerySnapshot> Frontend::ResetTargetLocked(TargetId id,
 
 void Frontend::OnRangeEvent(uint64_t subscription_id,
                             const rtcache::RangeEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto sub = by_subscription_.find(subscription_id);
   if (sub == by_subscription_.end()) return;  // already unsubscribed
   auto it = targets_.find(sub->second);
@@ -248,7 +248,7 @@ void Frontend::Pump() {
   // Deliveries are collected under the lock and fired outside it.
   std::vector<std::pair<SnapshotCallback, QuerySnapshot>> deliveries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // 1. Resets: out-of-sync targets and limit/offset targets with pending
     //    relevant changes re-run their initial snapshot.
     for (auto& [id, target] : targets_) {
@@ -301,7 +301,7 @@ void Frontend::Pump() {
 }
 
 int Frontend::active_targets() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(targets_.size());
 }
 

@@ -22,13 +22,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "backend/read_service.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "firestore/query/query.h"
 #include "firestore/rules/rules.h"
 #include "rtcache/changelog.h"
@@ -41,6 +41,9 @@ namespace firestore::frontend {
 struct TenantAccess {
   index::IndexCatalog* catalog = nullptr;
   const rules::RuleSet* rules = nullptr;  // null => privileged access
+  // Keeps the tenant that owns `catalog`/`rules` alive while this access is
+  // in scope (the tenant may be deleted concurrently).
+  std::shared_ptr<const void> keepalive;
 };
 
 using TenantResolver =
@@ -130,15 +133,18 @@ class Frontend {
 
   // Runs the query's initial snapshot and (re)subscribes. Fills result set
   // and max_commit_version; returns the snapshot to deliver.
-  StatusOr<QuerySnapshot> ResetTargetLocked(TargetId id, Target& target);
+  StatusOr<QuerySnapshot> ResetTargetLocked(TargetId id, Target& target)
+      FS_REQUIRES(mu_);
 
   // Min watermark across the target's subscribed ranges.
-  spanner::Timestamp RangeWatermarkLocked(const Target& target) const;
+  spanner::Timestamp RangeWatermarkLocked(const Target& target) const
+      FS_REQUIRES(mu_);
 
   void OnRangeEvent(uint64_t subscription_id,
                     const rtcache::RangeEvent& event);
 
-  QuerySnapshot BuildSnapshotLocked(Target& target, spanner::Timestamp t);
+  QuerySnapshot BuildSnapshotLocked(Target& target, spanner::Timestamp t)
+      FS_REQUIRES(mu_);
 
   const Clock* clock_;
   backend::ReadService* reader_;
@@ -146,11 +152,11 @@ class Frontend {
   const rtcache::RangeOwnership* ranges_;
   TenantResolver tenants_;
 
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  std::map<ConnectionId, Connection> connections_;
-  std::map<TargetId, Target> targets_;
-  std::map<uint64_t, TargetId> by_subscription_;
+  mutable Mutex mu_;
+  uint64_t next_id_ FS_GUARDED_BY(mu_) = 1;
+  std::map<ConnectionId, Connection> connections_ FS_GUARDED_BY(mu_);
+  std::map<TargetId, Target> targets_ FS_GUARDED_BY(mu_);
+  std::map<uint64_t, TargetId> by_subscription_ FS_GUARDED_BY(mu_);
   std::atomic<int64_t> snapshots_delivered_{0};
   std::atomic<int64_t> resets_{0};
 };

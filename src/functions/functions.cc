@@ -6,12 +6,12 @@ namespace firestore::functions {
 
 void FunctionRegistry::Register(const std::string& function_name,
                                 Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_[function_name] = std::move(handler);
 }
 
 void FunctionRegistry::Unregister(const std::string& function_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   handlers_.erase(function_name);
 }
 
@@ -33,7 +33,7 @@ int FunctionRegistry::DispatchPending(spanner::Database& spanner,
     }
     Handler handler;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = handlers_.find(event->function_name);
       if (it == handlers_.end()) {
         FS_LOG(WARNING) << "no handler for function '"
@@ -45,12 +45,10 @@ int FunctionRegistry::DispatchPending(spanner::Database& spanner,
     Status status = handler(*event);
     if (status.ok()) {
       ++handled;
-      std::lock_guard<std::mutex> lock(mu_);
       ++dispatched_;
     } else {
       // At-least-once: push the message back for a later attempt.
       spanner.queue().Push(*message);
-      std::lock_guard<std::mutex> lock(mu_);
       ++failed_;
       if (max_messages == 0) break;  // avoid spinning on a poison message
     }

@@ -5,12 +5,13 @@
 #ifndef FIRESTORE_FUNCTIONS_FUNCTIONS_H_
 #define FIRESTORE_FUNCTIONS_FUNCTIONS_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "backend/committer.h"
+#include "common/thread_annotations.h"
 #include "spanner/database.h"
 
 namespace firestore::functions {
@@ -29,14 +30,16 @@ class FunctionRegistry {
   // functions are dropped (with a warning), mirroring a deploy race.
   int DispatchPending(spanner::Database& spanner, int max_messages = 0);
 
-  int64_t dispatched() const { return dispatched_; }
-  int64_t failed() const { return failed_; }
+  int64_t dispatched() const { return dispatched_.load(); }
+  int64_t failed() const { return failed_.load(); }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Handler> handlers_;
-  int64_t dispatched_ = 0;
-  int64_t failed_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Handler> handlers_ FS_GUARDED_BY(mu_);
+  // Atomics: bumped during dispatch and read by stats accessors without
+  // the registry lock.
+  std::atomic<int64_t> dispatched_{0};
+  std::atomic<int64_t> failed_{0};
 };
 
 }  // namespace firestore::functions

@@ -51,10 +51,10 @@ StatusOr<PrepareHandle> Changelog::Prepare(
     const std::string& database_id,
     const std::vector<model::ResourcePath>& names,
     Timestamp max_commit_ts) {
-  if (unavailable_) {
+  if (unavailable_.load(std::memory_order_relaxed)) {
     return UnavailableError("Changelog unavailable (injected)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++prepares_;
   std::vector<RangeId> touched;
   for (const model::ResourcePath& name : names) {
@@ -92,7 +92,7 @@ void Changelog::Accept(uint64_t token, WriteOutcome outcome,
                        const std::vector<DocumentChange>& changes) {
   Notifications notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++accepts_;
     auto it = pending_.find(token);
     if (it == pending_.end()) {
@@ -151,7 +151,7 @@ void Changelog::Accept(uint64_t token, WriteOutcome outcome,
 void Changelog::Tick() {
   Notifications notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Timestamp now = clock_->NowMicros();
     // Expire overdue prepares: their ranges lose ordering guarantees.
     for (auto it = pending_.begin(); it != pending_.end();) {
@@ -198,7 +198,7 @@ void Changelog::MarkOutOfSyncLocked(RangeId range) {
 }
 
 Timestamp Changelog::watermark(RangeId range) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = range_states_.find(range);
   return it == range_states_.end() ? 0 : it->second.watermark;
 }

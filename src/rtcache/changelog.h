@@ -13,13 +13,14 @@
 #ifndef FIRESTORE_RTCACHE_CHANGELOG_H_
 #define FIRESTORE_RTCACHE_CHANGELOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "backend/types.h"
+#include "common/thread_annotations.h"
 #include "common/clock.h"
 #include "rtcache/query_matcher.h"
 #include "rtcache/range_ownership.h"
@@ -56,16 +57,19 @@ class Changelog : public backend::RealTimeParticipant {
   // and forwards watermarks to the Query Matcher.
   void Tick();
 
-  // Fault injection: Prepares fail while unavailable.
-  void set_unavailable(bool unavailable) { unavailable_ = unavailable; }
+  // Fault injection: Prepares fail while unavailable. Atomic so the fault
+  // can be injected while committers are in flight.
+  void set_unavailable(bool unavailable) {
+    unavailable_.store(unavailable, std::memory_order_relaxed);
+  }
 
   spanner::Timestamp watermark(RangeId range) const;
 
-  // -- Stats --
-  int64_t prepares() const { return prepares_; }
-  int64_t accepts() const { return accepts_; }
-  int64_t out_of_sync_events() const { return out_of_sync_events_; }
-  int64_t mutations_released() const { return mutations_released_; }
+  // -- Stats -- (atomics: read without the Changelog lock)
+  int64_t prepares() const { return prepares_.load(); }
+  int64_t accepts() const { return accepts_.load(); }
+  int64_t out_of_sync_events() const { return out_of_sync_events_.load(); }
+  int64_t mutations_released() const { return mutations_released_.load(); }
 
  private:
   struct PendingPrepare {
@@ -90,23 +94,22 @@ class Changelog : public backend::RealTimeParticipant {
     spanner::Timestamp last_assigned_min = 0;
   };
 
-  void MarkOutOfSyncLocked(RangeId range);
-  void ReleaseCompleteLocked(RangeId range);
+  void MarkOutOfSyncLocked(RangeId range) FS_REQUIRES(mu_);
 
   const Clock* clock_;
   const RangeOwnership* ranges_;
   QueryMatcher* matcher_;
   Options options_;
-  bool unavailable_ = false;
+  std::atomic<bool> unavailable_{false};
 
-  mutable std::mutex mu_;
-  uint64_t next_token_ = 1;
-  std::map<uint64_t, PendingPrepare> pending_;
-  std::map<RangeId, RangeState> range_states_;
-  int64_t prepares_ = 0;
-  int64_t accepts_ = 0;
-  int64_t out_of_sync_events_ = 0;
-  int64_t mutations_released_ = 0;
+  mutable Mutex mu_;
+  uint64_t next_token_ FS_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, PendingPrepare> pending_ FS_GUARDED_BY(mu_);
+  std::map<RangeId, RangeState> range_states_ FS_GUARDED_BY(mu_);
+  std::atomic<int64_t> prepares_{0};
+  std::atomic<int64_t> accepts_{0};
+  std::atomic<int64_t> out_of_sync_events_{0};
+  std::atomic<int64_t> mutations_released_{0};
 };
 
 }  // namespace firestore::rtcache

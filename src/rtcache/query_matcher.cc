@@ -9,14 +9,14 @@ void QueryMatcher::Subscribe(uint64_t subscription_id,
                              const query::Query& q,
                              const std::vector<RangeId>& ranges,
                              EventSink sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Subscription sub{database_id, q, ranges, std::move(sink)};
   for (RangeId r : ranges) by_range_[r].push_back(subscription_id);
   subscriptions_[subscription_id] = std::move(sub);
 }
 
 void QueryMatcher::Unsubscribe(uint64_t subscription_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = subscriptions_.find(subscription_id);
   if (it == subscriptions_.end()) return;
   for (RangeId r : it->second.ranges) {
@@ -34,7 +34,7 @@ void QueryMatcher::OnDocumentChange(const std::string& database_id,
   // may re-enter (e.g. to unsubscribe).
   std::vector<std::pair<uint64_t, EventSink>> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = by_range_.find(range);
     if (it == by_range_.end()) return;
     for (uint64_t id : it->second) {
@@ -61,7 +61,7 @@ void QueryMatcher::OnDocumentChange(const std::string& database_id,
 void QueryMatcher::OnWatermark(RangeId range, spanner::Timestamp ts) {
   std::vector<std::pair<uint64_t, EventSink>> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = by_range_.find(range);
     if (it == by_range_.end()) return;
     for (uint64_t id : it->second) {
@@ -78,7 +78,7 @@ void QueryMatcher::OnWatermark(RangeId range, spanner::Timestamp ts) {
 void QueryMatcher::OnOutOfSync(RangeId range) {
   std::vector<std::pair<uint64_t, EventSink>> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = by_range_.find(range);
     if (it == by_range_.end()) return;
     for (uint64_t id : it->second) {
@@ -92,7 +92,7 @@ void QueryMatcher::OnOutOfSync(RangeId range) {
 }
 
 int QueryMatcher::subscription_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(subscriptions_.size());
 }
 

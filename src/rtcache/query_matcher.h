@@ -5,14 +5,15 @@
 #ifndef FIRESTORE_RTCACHE_QUERY_MATCHER_H_
 #define FIRESTORE_RTCACHE_QUERY_MATCHER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "backend/types.h"
+#include "common/thread_annotations.h"
 #include "firestore/query/query.h"
 #include "rtcache/range_ownership.h"
 #include "spanner/truetime.h"
@@ -62,9 +63,9 @@ class QueryMatcher {
 
   void OnOutOfSync(RangeId range);
 
-  // -- Stats --
-  int64_t documents_matched() const { return documents_matched_; }
-  int64_t documents_examined() const { return documents_examined_; }
+  // -- Stats -- (atomics: read without the matcher lock)
+  int64_t documents_matched() const { return documents_matched_.load(); }
+  int64_t documents_examined() const { return documents_examined_.load(); }
   int subscription_count() const;
 
  private:
@@ -75,12 +76,12 @@ class QueryMatcher {
     EventSink sink;
   };
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, Subscription> subscriptions_;
+  mutable Mutex mu_;
+  std::map<uint64_t, Subscription> subscriptions_ FS_GUARDED_BY(mu_);
   // range -> subscription ids registered on it.
-  std::map<RangeId, std::vector<uint64_t>> by_range_;
-  int64_t documents_matched_ = 0;
-  int64_t documents_examined_ = 0;
+  std::map<RangeId, std::vector<uint64_t>> by_range_ FS_GUARDED_BY(mu_);
+  std::atomic<int64_t> documents_matched_{0};
+  std::atomic<int64_t> documents_examined_{0};
 };
 
 }  // namespace firestore::rtcache

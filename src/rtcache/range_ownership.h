@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace firestore::rtcache {
 
 using RangeId = int;
@@ -27,7 +29,7 @@ class RangeOwnership {
   // stand-in for Slicer's load-based assignment).
   static RangeOwnership Uniform(int n);
 
-  int num_ranges() const { return static_cast<int>(splits_.size()) + 1; }
+  int num_ranges() const;
 
   RangeId OwnerOf(const std::string& key) const;
 
@@ -42,11 +44,17 @@ class RangeOwnership {
 
   // Current generation; bumped by SetSplitPoints so stale references can be
   // detected.
-  int64_t generation() const { return generation_; }
+  int64_t generation() const;
 
  private:
-  std::vector<std::string> splits_;
-  int64_t generation_ = 0;
+  RangeId OwnerOfLocked(const std::string& key) const
+      FS_REQUIRES_SHARED(mu_);
+
+  // Re-sharding happens while lookups are in flight: readers take mu_
+  // shared, SetSplitPoints takes it exclusively.
+  mutable SharedMutex mu_;
+  std::vector<std::string> splits_ FS_GUARDED_BY(mu_);
+  int64_t generation_ FS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace firestore::rtcache

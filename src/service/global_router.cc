@@ -4,7 +4,7 @@ namespace firestore::service {
 
 Status GlobalRouter::AddRegion(const std::string& region,
                                FirestoreService* service) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (regions_.count(region) != 0) {
     return AlreadyExistsError("region exists: " + region);
   }
@@ -13,7 +13,7 @@ Status GlobalRouter::AddRegion(const std::string& region,
 }
 
 std::vector<std::string> GlobalRouter::Regions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   for (const auto& [name, service] : regions_) names.push_back(name);
   return names;
@@ -24,7 +24,7 @@ Status GlobalRouter::CreateDatabase(const std::string& database_id,
                                     DatabaseOptions options) {
   FirestoreService* service = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = regions_.find(region);
     if (it == regions_.end()) {
       return InvalidArgumentError("no such region: " + region);
@@ -35,7 +35,7 @@ Status GlobalRouter::CreateDatabase(const std::string& database_id,
     service = it->second;
   }
   RETURN_IF_ERROR(service->CreateDatabase(database_id, std::move(options)));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   database_region_.emplace(database_id, region);
   return Status::Ok();
 }
@@ -43,14 +43,14 @@ Status GlobalRouter::CreateDatabase(const std::string& database_id,
 Status GlobalRouter::DeleteDatabase(const std::string& database_id) {
   ASSIGN_OR_RETURN(FirestoreService * service, Route(database_id));
   RETURN_IF_ERROR(service->DeleteDatabase(database_id));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   database_region_.erase(database_id);
   return Status::Ok();
 }
 
 StatusOr<std::string> GlobalRouter::RegionOf(
     const std::string& database_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = database_region_.find(database_id);
   if (it == database_region_.end()) {
     return NotFoundError("no such database: " + database_id);
@@ -60,7 +60,7 @@ StatusOr<std::string> GlobalRouter::RegionOf(
 
 StatusOr<FirestoreService*> GlobalRouter::Route(
     const std::string& database_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = database_region_.find(database_id);
   if (it == database_region_.end()) {
     return NotFoundError("no such database: " + database_id);
@@ -89,7 +89,7 @@ StatusOr<backend::RunQueryResult> GlobalRouter::RunQuery(
 }
 
 int64_t GlobalRouter::routed(const std::string& region) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = routed_.find(region);
   return it == routed_.end() ? 0 : it->second;
 }

@@ -13,10 +13,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "service/service.h"
 
 namespace firestore::service {
@@ -60,10 +60,10 @@ class GlobalRouter {
   int64_t routed(const std::string& region) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, FirestoreService*> regions_;
-  std::map<std::string, std::string> database_region_;
-  mutable std::map<std::string, int64_t> routed_;
+  mutable Mutex mu_;
+  std::map<std::string, FirestoreService*> regions_ FS_GUARDED_BY(mu_);
+  std::map<std::string, std::string> database_region_ FS_GUARDED_BY(mu_);
+  mutable std::map<std::string, int64_t> routed_ FS_GUARDED_BY(mu_);
 };
 
 }  // namespace firestore::service

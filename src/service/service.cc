@@ -35,7 +35,7 @@ FirestoreService::FirestoreService(const Clock* clock, Options options)
   frontend_ = std::make_unique<frontend::Frontend>(
       clock, &reader_, &matcher_, &ranges_,
       [this](const std::string& db) -> StatusOr<frontend::TenantAccess> {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         auto it = tenants_.find(db);
         if (it == tenants_.end()) {
           return NotFoundError("no such database: " + db);
@@ -43,6 +43,7 @@ FirestoreService::FirestoreService(const Clock* clock, Options options)
         frontend::TenantAccess access;
         access.catalog = &it->second->catalog;
         access.rules = it->second->rules.get();
+        access.keepalive = it->second;
         return access;
       });
 }
@@ -58,11 +59,11 @@ Status FirestoreService::CreateDatabase(const std::string& database_id,
                      rules::RuleSet::Parse(options.rules_source));
     rules = std::make_unique<rules::RuleSet>(std::move(parsed));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tenants_.count(database_id) != 0) {
     return AlreadyExistsError("database exists: " + database_id);
   }
-  auto tenant = std::make_unique<Tenant>();
+  auto tenant = std::make_shared<Tenant>();
   tenant->options = std::move(options);
   tenant->rules = std::move(rules);
   tenants_.emplace(database_id, std::move(tenant));
@@ -71,7 +72,7 @@ Status FirestoreService::CreateDatabase(const std::string& database_id,
 
 Status FirestoreService::DeleteDatabase(const std::string& database_id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (tenants_.erase(database_id) == 0) {
       return NotFoundError("no such database: " + database_id);
     }
@@ -99,31 +100,32 @@ Status FirestoreService::DeleteDatabase(const std::string& database_id) {
 }
 
 bool FirestoreService::DatabaseExists(const std::string& database_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tenants_.count(database_id) != 0;
 }
 
 std::vector<std::string> FirestoreService::ListDatabases() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   for (const auto& [name, tenant] : tenants_) names.push_back(name);
   return names;
 }
 
-StatusOr<FirestoreService::Tenant*> FirestoreService::GetTenant(
-    const std::string& database_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+StatusOr<std::shared_ptr<FirestoreService::Tenant>>
+FirestoreService::GetTenant(const std::string& database_id) {
+  MutexLock lock(&mu_);
   auto it = tenants_.find(database_id);
   if (it == tenants_.end()) {
     return NotFoundError("no such database: " + database_id);
   }
-  return it->second.get();
+  return it->second;
 }
 
 Status FirestoreService::SetRules(const std::string& database_id,
                                   const std::string& source) {
   ASSIGN_OR_RETURN(rules::RuleSet parsed, rules::RuleSet::Parse(source));
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   tenant->rules = std::make_unique<rules::RuleSet>(std::move(parsed));
   return Status::Ok();
 }
@@ -131,7 +133,8 @@ Status FirestoreService::SetRules(const std::string& database_id,
 Status FirestoreService::AddFieldExemption(const std::string& database_id,
                                            const std::string& collection_id,
                                            const model::FieldPath& field) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   tenant->catalog.AddExemption(collection_id, field);
   return backfill_.RemoveExemptedFieldEntries(tenant->catalog, database_id,
                                               collection_id, field);
@@ -140,21 +143,24 @@ Status FirestoreService::AddFieldExemption(const std::string& database_id,
 StatusOr<index::IndexId> FirestoreService::CreateCompositeIndex(
     const std::string& database_id, const std::string& collection_id,
     std::vector<index::IndexSegment> segments) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   return backfill_.CreateIndex(tenant->catalog, database_id, collection_id,
                                std::move(segments));
 }
 
 Status FirestoreService::DropIndex(const std::string& database_id,
                                    index::IndexId id) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   return backfill_.DropIndex(tenant->catalog, database_id, id);
 }
 
 Status FirestoreService::RegisterTrigger(
     const std::string& database_id, const std::string& function_name,
     const std::vector<std::string>& pattern) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   backend::TriggerDefinition def;
   def.function_name = function_name;
   def.pattern = pattern;
@@ -165,7 +171,8 @@ Status FirestoreService::RegisterTrigger(
 StatusOr<CommitResponse> FirestoreService::Commit(
     const std::string& database_id,
     const std::vector<Mutation>& mutations) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   return committer_.Commit(database_id, tenant->catalog, mutations,
                            tenant->triggers);
 }
@@ -180,21 +187,24 @@ StatusOr<std::optional<Document>> FirestoreService::Get(
 StatusOr<backend::RunQueryResult> FirestoreService::RunQuery(
     const std::string& database_id, const query::Query& q,
     Timestamp read_ts) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   return reader_.RunQuery(database_id, tenant->catalog, q, read_ts);
 }
 
 StatusOr<backend::RunCountResult> FirestoreService::RunCountQuery(
     const std::string& database_id, const query::Query& q,
     Timestamp read_ts) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   return reader_.RunCountQuery(database_id, tenant->catalog, q, read_ts);
 }
 
 StatusOr<backend::RunAggregateResult> FirestoreService::RunSumQuery(
     const std::string& database_id, const query::Query& q,
     const model::FieldPath& field, Timestamp read_ts) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   return reader_.RunSumQuery(database_id, tenant->catalog, q, field,
                              read_ts);
 }
@@ -202,7 +212,8 @@ StatusOr<backend::RunAggregateResult> FirestoreService::RunSumQuery(
 StatusOr<CommitResponse> FirestoreService::RunTransaction(
     const std::string& database_id,
     const backend::Committer::TransactionBody& body) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   return committer_.RunTransaction(database_id, tenant->catalog, body,
                                    tenant->triggers);
 }
@@ -210,7 +221,8 @@ StatusOr<CommitResponse> FirestoreService::RunTransaction(
 StatusOr<CommitResponse> FirestoreService::CommitAsUser(
     const std::string& database_id, const rules::AuthContext& auth,
     const std::vector<Mutation>& mutations) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   if (tenant->rules == nullptr) {
     return PermissionDeniedError(
         "third-party access requires security rules");
@@ -222,7 +234,8 @@ StatusOr<CommitResponse> FirestoreService::CommitAsUser(
 StatusOr<std::optional<Document>> FirestoreService::GetAsUser(
     const std::string& database_id, const rules::AuthContext& auth,
     const ResourcePath& name) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   if (tenant->rules == nullptr) {
     return PermissionDeniedError(
         "third-party access requires security rules");
@@ -234,7 +247,8 @@ StatusOr<std::optional<Document>> FirestoreService::GetAsUser(
 StatusOr<backend::RunQueryResult> FirestoreService::RunQueryAsUser(
     const std::string& database_id, const rules::AuthContext& auth,
     const query::Query& q) {
-  ASSIGN_OR_RETURN(Tenant * tenant, GetTenant(database_id));
+  ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
+                   GetTenant(database_id));
   if (tenant->rules == nullptr) {
     return PermissionDeniedError(
         "third-party access requires security rules");
@@ -245,7 +259,7 @@ StatusOr<backend::RunQueryResult> FirestoreService::RunQueryAsUser(
 
 index::IndexCatalog* FirestoreService::catalog(
     const std::string& database_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(database_id);
   return it == tenants_.end() ? nullptr : &it->second->catalog;
 }

@@ -13,11 +13,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "backend/committer.h"
+#include "common/thread_annotations.h"
 #include "backend/read_service.h"
 #include "common/clock.h"
 #include "firestore/index/backfill.h"
@@ -139,7 +139,10 @@ class FirestoreService {
     std::vector<backend::TriggerDefinition> triggers;
   };
 
-  StatusOr<Tenant*> GetTenant(const std::string& database_id);
+  // Shared ownership keeps a tenant alive for the duration of a data-plane
+  // call even if DeleteDatabase races it (the routing entry disappears
+  // immediately; in-flight requests finish against the doomed tenant).
+  StatusOr<std::shared_ptr<Tenant>> GetTenant(const std::string& database_id);
 
   const Clock* clock_;
   Options options_;
@@ -154,8 +157,8 @@ class FirestoreService {
   std::unique_ptr<frontend::Frontend> frontend_;
   functions::FunctionRegistry functions_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_ FS_GUARDED_BY(mu_);
 };
 
 }  // namespace firestore::service

@@ -31,14 +31,14 @@ StatusOr<RowValue> ReadWriteTransaction::Read(const std::string& table,
   if (finished_) return FailedPreconditionError("transaction finished");
   if (version != nullptr) *version = 0;
   RETURN_IF_ERROR(db_->lock_manager_.Acquire(id_, LockKey(table, key), mode,
-                                             db_->lock_timeout_ms_));
+                                             db_->lock_timeout_ms()));
   // Read-your-writes.
   auto tit = writes_.find(table);
   if (tit != writes_.end()) {
     auto wit = tit->second.find(key);
     if (wit != tit->second.end()) return wit->second;
   }
-  std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+  ReaderMutexLock data_lock(&db_->data_mu_);
   auto table_it = db_->tables_.find(table);
   if (table_it == db_->tables_.end()) {
     return NotFoundError("no such table: " + table);
@@ -52,7 +52,7 @@ StatusOr<std::vector<ScanRow>> ReadWriteTransaction::Scan(
   if (finished_) return FailedPreconditionError("transaction finished");
   std::vector<ScanRow> rows;
   {
-    std::shared_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    ReaderMutexLock data_lock(&db_->data_mu_);
     auto table_it = db_->tables_.find(table);
     if (table_it == db_->tables_.end()) {
       return NotFoundError("no such table: " + table);
@@ -92,7 +92,7 @@ StatusOr<std::vector<ScanRow>> ReadWriteTransaction::Scan(
   for (const ScanRow& row : rows) {
     RETURN_IF_ERROR(db_->lock_manager_.Acquire(id_, LockKey(table, row.key),
                                                LockMode::kShared,
-                                               db_->lock_timeout_ms_));
+                                               db_->lock_timeout_ms()));
   }
   return rows;
 }
@@ -125,7 +125,7 @@ StatusOr<CommitResult> ReadWriteTransaction::Commit(Timestamp min_allowed,
       (void)value;
       Status s = db_->lock_manager_.Acquire(
           id_, LockKey(table, key), LockMode::kExclusive,
-          db_->lock_timeout_ms_);
+          db_->lock_timeout_ms());
       if (!s.ok()) {
         Abort();
         return s;
@@ -134,10 +134,10 @@ StatusOr<CommitResult> ReadWriteTransaction::Commit(Timestamp min_allowed,
   }
   CommitResult result;
   {
-    std::unique_lock<std::shared_mutex> data_lock(db_->data_mu_);
+    WriterMutexLock data_lock(&db_->data_mu_);
     StatusOr<Timestamp> ts = db_->oracle_.Allocate(min_allowed, max_allowed);
     if (!ts.ok()) {
-      data_lock.unlock();
+      data_lock.Unlock();
       Abort();
       return ts.status();
     }
@@ -145,7 +145,7 @@ StatusOr<CommitResult> ReadWriteTransaction::Commit(Timestamp min_allowed,
     for (const auto& [table, keys] : writes_) {
       auto table_it = db_->tables_.find(table);
       if (table_it == db_->tables_.end()) {
-        data_lock.unlock();
+        data_lock.Unlock();
         Abort();
         return NotFoundError("no such table: " + table);
       }
@@ -184,7 +184,7 @@ Database::Database(const Clock* clock, Micros truetime_uncertainty)
       oracle_(clock) {}
 
 Status Database::CreateTable(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  WriterMutexLock lock(&data_mu_);
   if (tables_.count(name) != 0) {
     return AlreadyExistsError("table exists: " + name);
   }
@@ -193,13 +193,13 @@ Status Database::CreateTable(const std::string& name) {
 }
 
 Table* Database::GetTable(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  ReaderMutexLock lock(&data_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 const Table* Database::GetTable(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  ReaderMutexLock lock(&data_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -213,7 +213,7 @@ std::unique_ptr<ReadWriteTransaction> Database::BeginTransaction() {
 StatusOr<RowValue> Database::SnapshotRead(const std::string& table,
                                           const Key& key, Timestamp ts,
                                           Timestamp* version) const {
-  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  ReaderMutexLock lock(&data_mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return NotFoundError("no such table: " + table);
   return it->second->ReadAt(key, ts, version);
@@ -222,7 +222,7 @@ StatusOr<RowValue> Database::SnapshotRead(const std::string& table,
 StatusOr<std::vector<ScanRow>> Database::SnapshotScan(
     const std::string& table, const Key& start, const Key& limit,
     Timestamp ts, int64_t max_rows) const {
-  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  ReaderMutexLock lock(&data_mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return NotFoundError("no such table: " + table);
   std::vector<ScanRow> rows;
@@ -236,7 +236,7 @@ StatusOr<std::vector<ScanRow>> Database::SnapshotScan(
 }
 
 int Database::RunLoadSplitting(int64_t load_threshold) {
-  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  WriterMutexLock lock(&data_mu_);
   int splits = 0;
   for (auto& [name, table] : tables_) {
     (void)name;
@@ -246,7 +246,7 @@ int Database::RunLoadSplitting(int64_t load_threshold) {
 }
 
 int64_t Database::GarbageCollect(Timestamp horizon) {
-  std::unique_lock<std::shared_mutex> lock(data_mu_);
+  WriterMutexLock lock(&data_mu_);
   int64_t dropped = 0;
   for (auto& [name, table] : tables_) {
     (void)name;

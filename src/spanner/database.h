@@ -13,12 +13,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "spanner/lock_manager.h"
 #include "spanner/message_queue.h"
 #include "spanner/storage.h"
@@ -139,10 +139,16 @@ class Database {
   int64_t GarbageCollect(Timestamp horizon);
 
   // Lock wait timeout applied to transactional reads/commits.
-  void set_lock_timeout_ms(int64_t ms) { lock_timeout_ms_ = ms; }
+  void set_lock_timeout_ms(int64_t ms) {
+    lock_timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
 
  private:
   friend class ReadWriteTransaction;
+
+  int64_t lock_timeout_ms() const {
+    return lock_timeout_ms_.load(std::memory_order_relaxed);
+  }
 
   const Clock* clock_;
   TrueTime truetime_;
@@ -150,12 +156,14 @@ class Database {
   LockManager lock_manager_;
   MessageQueue queue_;
   std::atomic<TxnId> next_txn_id_{1};
-  int64_t lock_timeout_ms_ = 2000;
+  // Atomic: tests adjust it while transactions are in flight.
+  std::atomic<int64_t> lock_timeout_ms_{2000};
 
   // Guards table structure and row data: commits take it exclusively,
   // snapshot reads take it shared.
-  mutable std::shared_mutex data_mu_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  mutable SharedMutex data_mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_
+      FS_GUARDED_BY(data_mu_);
 };
 
 }  // namespace firestore::spanner

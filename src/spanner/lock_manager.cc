@@ -17,7 +17,7 @@ bool LockManager::Compatible(const LockState& state, TxnId txn,
 
 Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
                             int64_t timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout_ms);
   while (true) {
@@ -51,19 +51,19 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
         wounded_someone = true;
       }
     }
-    if (wounded_someone) cv_.notify_all();
+    if (wounded_someone) cv_.NotifyAll();
     if (timeout_ms > 0) {
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (!cv_.WaitUntil(&mu_, deadline)) {
         return DeadlineExceededError("lock wait timeout");
       }
     } else {
-      cv_.wait(lock);
+      cv_.Wait(&mu_);
     }
   }
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = held_.find(txn);
   if (it != held_.end()) {
     for (const std::string& key : it->second) {
@@ -75,22 +75,22 @@ void LockManager::ReleaseAll(TxnId txn) {
     held_.erase(it);
   }
   wounded_.erase(txn);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::Wound(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   wounded_.insert(txn);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockManager::IsWounded(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return wounded_.count(txn) != 0;
 }
 
 int LockManager::LockCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(locks_.size());
 }
 

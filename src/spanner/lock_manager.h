@@ -10,15 +10,14 @@
 #ifndef FIRESTORE_SPANNER_LOCK_MANAGER_H_
 #define FIRESTORE_SPANNER_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace firestore::spanner {
 
@@ -54,11 +53,12 @@ class LockManager {
   // Returns true if `txn` can be granted `mode` on `state` right now.
   static bool Compatible(const LockState& state, TxnId txn, LockMode mode);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, LockState> locks_;
-  std::set<TxnId> wounded_;
-  std::map<TxnId, std::set<std::string>> held_;  // txn -> keys
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<std::string, LockState> locks_ FS_GUARDED_BY(mu_);
+  std::set<TxnId> wounded_ FS_GUARDED_BY(mu_);
+  // txn -> keys
+  std::map<TxnId, std::set<std::string>> held_ FS_GUARDED_BY(mu_);
 };
 
 }  // namespace firestore::spanner

@@ -3,12 +3,12 @@
 namespace firestore::spanner {
 
 void MessageQueue::Push(QueueMessage message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   topics_[message.topic].push_back(std::move(message));
 }
 
 std::optional<QueueMessage> MessageQueue::Pop(const std::string& topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   if (it == topics_.end() || it->second.empty()) return std::nullopt;
   QueueMessage message = std::move(it->second.front());
@@ -17,7 +17,7 @@ std::optional<QueueMessage> MessageQueue::Pop(const std::string& topic) {
 }
 
 size_t MessageQueue::Size(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   return it == topics_.end() ? 0 : it->second.size();
 }

@@ -11,10 +11,10 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "spanner/truetime.h"
 
 namespace firestore::spanner {
@@ -35,8 +35,8 @@ class MessageQueue {
   size_t Size(const std::string& topic) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::deque<QueueMessage>> topics_;
+  mutable Mutex mu_;
+  std::map<std::string, std::deque<QueueMessage>> topics_ FS_GUARDED_BY(mu_);
 };
 
 }  // namespace firestore::spanner

@@ -12,6 +12,7 @@
 #ifndef FIRESTORE_SPANNER_STORAGE_H_
 #define FIRESTORE_SPANNER_STORAGE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -29,8 +30,11 @@ using Key = std::string;
 using RowValue = std::optional<std::string>;
 
 struct TabletStats {
-  int64_t reads = 0;
-  int64_t writes = 0;
+  // Load counters are atomic: snapshot reads bump them while holding the
+  // database lock only in shared mode, racing other readers and the
+  // load-splitting scan.
+  std::atomic<int64_t> reads{0};
+  std::atomic<int64_t> writes{0};
   int64_t bytes = 0;  // approximate stored bytes (latest versions)
 };
 

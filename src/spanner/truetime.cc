@@ -6,7 +6,7 @@ namespace firestore::spanner {
 
 StatusOr<Timestamp> TimestampOracle::Allocate(Timestamp min_allowed,
                                               Timestamp max_allowed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Timestamp floor = std::max<Timestamp>(last_ + 1, clock_->NowMicros());
   floor = std::max(floor, min_allowed);
   if (floor > max_allowed) {
@@ -17,12 +17,12 @@ StatusOr<Timestamp> TimestampOracle::Allocate(Timestamp min_allowed,
 }
 
 Timestamp TimestampOracle::last_allocated() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return last_;
 }
 
 Timestamp TimestampOracle::StrongReadTimestamp() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Reserve the returned timestamp: commits after a strong read must be
   // strictly greater, so the snapshot the read observed stays immutable.
   last_ = std::max<Timestamp>(last_, clock_->NowMicros());

@@ -8,10 +8,11 @@
 #ifndef FIRESTORE_SPANNER_TRUETIME_H_
 #define FIRESTORE_SPANNER_TRUETIME_H_
 
-#include <mutex>
+#include <limits>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace firestore::spanner {
 
@@ -64,8 +65,8 @@ class TimestampOracle {
 
  private:
   const Clock* clock_;
-  mutable std::mutex mu_;
-  mutable Timestamp last_ = 0;
+  mutable Mutex mu_;
+  mutable Timestamp last_ FS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace firestore::spanner

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every translation unit in src/
+# and fails on any diagnostic. Usage:
+#
+#   tools/run_static_analysis.sh [build-dir]
+#
+# The build dir must contain compile_commands.json; when omitted, the script
+# configures the `tidy` CMake preset (which also turns on -Wthread-safety via
+# the clang toolchain). On machines without clang-tidy the script reports
+# SKIPPED and exits 0 so non-clang environments keep working; set
+# FS_REQUIRE_TOOLS=1 (as CI does) to make a missing tool a hard failure.
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+missing_tool() {
+  if [[ "${FS_REQUIRE_TOOLS:-0}" == "1" ]]; then
+    echo "ERROR: $1 not found and FS_REQUIRE_TOOLS=1" >&2
+    exit 1
+  fi
+  echo "SKIPPED: $1 not found; install clang tooling to run static analysis" >&2
+  exit 0
+}
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+command -v "$tidy_bin" >/dev/null 2>&1 || missing_tool "$tidy_bin"
+
+build_dir="${1:-}"
+if [[ -z "$build_dir" ]]; then
+  build_dir="build-tidy"
+  if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    command -v clang++ >/dev/null 2>&1 || missing_tool clang++
+    cmake --preset tidy >/dev/null || exit 1
+  fi
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "ERROR: $build_dir/compile_commands.json not found" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "clang-tidy: ${#sources[@]} files, build dir $build_dir"
+
+# run-clang-tidy parallelizes when available; otherwise loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+      "${sources[@]/#/$repo_root/}"
+  status=$?
+else
+  status=0
+  for f in "${sources[@]}"; do
+    "$tidy_bin" -p "$build_dir" --quiet "$f" || status=1
+  done
+fi
+
+if [[ $status -ne 0 ]]; then
+  echo "FAIL: clang-tidy reported diagnostics (WarningsAsErrors: '*')" >&2
+  exit 1
+fi
+echo "OK: clang-tidy clean"
