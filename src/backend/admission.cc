@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/retry.h"
+
 namespace firestore::backend {
 
 bool TrafficRampTracker::Record(const std::string& database_id) {
@@ -63,8 +65,10 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
   int& current = inflight_[database_id];
   if (limit > 0 && current >= limit) {
     ++rejected_;
-    return ResourceExhaustedError(
-        "database over its in-flight RPC limit: " + database_id);
+    return WithRetryAfter(
+        ResourceExhaustedError("database over its in-flight RPC limit: " +
+                               database_id),
+        options_.rejection_retry_after);
   }
   ++current;
   return Ticket(this, database_id);

@@ -73,6 +73,10 @@ class AdmissionController {
     // Work cap per RPC: queries stop and return partial results after this
     // many index rows (see ReadService integration).
     int64_t max_rows_per_rpc = 100'000;
+    // Hint attached to RESOURCE_EXHAUSTED rejections (common/retry.h
+    // WithRetryAfter): how long rejected callers should back off before
+    // their next attempt.
+    Micros rejection_retry_after = 50'000;
   };
 
   AdmissionController() = default;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/checksum.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "firestore/codec/document_codec.h"
 #include "firestore/index/extractor.h"
@@ -157,6 +158,26 @@ rules::AccessKind RuleKindFor(const Mutation& m, bool exists) {
 
 }  // namespace
 
+void Committer::set_faults(const CommitFaults& faults) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  auto toggle = [&registry](bool on, const char* point, FaultAction action) {
+    if (on) {
+      FaultConfig config;
+      config.action = std::move(action);
+      registry.Arm(point, std::move(config));
+    } else {
+      registry.Disarm(point);
+    }
+  };
+  toggle(faults.rtcache_unavailable, "committer.prepare",
+         FaultAction::Fail(UnavailableError("Real-time Cache Prepare failed")));
+  toggle(faults.spanner_commit_fails, "committer.commit",
+         FaultAction::Fail(AbortedError("Spanner commit failed (injected)")));
+  // The unknown-outcome leg's status is fixed by the site; any action works.
+  toggle(faults.unknown_outcome, "committer.outcome_unknown",
+         FaultAction::Drop());
+}
+
 StatusOr<CommitResponse> Committer::Commit(
     const std::string& database_id, index::IndexCatalog& catalog,
     const std::vector<Mutation>& mutations,
@@ -171,25 +192,25 @@ StatusOr<CommitResponse> Committer::RunTransaction(
     const std::string& database_id, index::IndexCatalog& catalog,
     const TransactionBody& body,
     const std::vector<TriggerDefinition>& triggers, int max_attempts) {
-  Status last = AbortedError("no attempts made");
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+  RetryPolicy policy = options_.retry_policy;
+  policy.max_attempts = max_attempts;
+  RetryState retry(policy, clock_, options_.retry_seed);
+  while (true) {
     auto txn = spanner_->BeginTransaction();
     StatusOr<std::vector<Mutation>> mutations = body(*txn);
+    Status failure;
     if (!mutations.ok()) {
-      if (mutations.status().code() == StatusCode::kAborted) {
-        last = mutations.status();
-        continue;  // wounded: retry with a fresh transaction
-      }
-      return mutations.status();
+      failure = mutations.status();
+    } else {
+      StatusOr<CommitResponse> result = CommitInternal(
+          database_id, catalog, *txn, *mutations, triggers, nullptr, nullptr);
+      if (result.ok()) return result;
+      failure = result.status();
     }
-    StatusOr<CommitResponse> result = CommitInternal(
-        database_id, catalog, *txn, *mutations, triggers, nullptr, nullptr);
-    if (result.ok() || result.status().code() != StatusCode::kAborted) {
-      return result;
-    }
-    last = result.status();
+    Micros delay = 0;
+    if (!retry.ShouldRetryWrite(failure, &delay)) return failure;
+    if (options_.retry_sleep) options_.retry_sleep(delay);
   }
-  return last;
 }
 
 StatusOr<CommitResponse> Committer::CommitInternal(
@@ -350,9 +371,9 @@ StatusOr<CommitResponse> Committer::CommitInternal(
   Timestamp min_ts = 0;
   uint64_t prepare_token = 0;
   if (realtime_ != nullptr) {
-    if (faults_.rtcache_unavailable) {
+    if (Status fault = FS_FAULT_POINT("committer.prepare"); !fault.ok()) {
       txn.Abort();
-      return UnavailableError("Real-time Cache Prepare failed");
+      return fault;
     }
     StatusOr<PrepareHandle> prepared =
         realtime_->Prepare(database_id, names, max_ts);
@@ -365,12 +386,12 @@ StatusOr<CommitResponse> Committer::CommitInternal(
   }
 
   // Step 6: Spanner commit within [min_ts, max_ts].
-  if (faults_.spanner_commit_fails) {
+  if (Status fault = FS_FAULT_POINT("committer.commit"); !fault.ok()) {
     txn.Abort();
     if (realtime_ != nullptr) {
       realtime_->Accept(prepare_token, WriteOutcome::kFailed, 0, {});
     }
-    return AbortedError("Spanner commit failed (injected)");
+    return fault;
   }
   StatusOr<spanner::CommitResult> commit = txn.Commit(min_ts, max_ts);
   if (!commit.ok()) {
@@ -394,7 +415,7 @@ StatusOr<CommitResponse> Committer::CommitInternal(
 
   // Step 7: Accept.
   if (realtime_ != nullptr) {
-    if (faults_.unknown_outcome) {
+    if (FS_FAULT_TRIGGERED("committer.outcome_unknown")) {
       realtime_->Accept(prepare_token, WriteOutcome::kUnknown, 0, {});
       // The commit actually succeeded; the client sees a timeout.
       return DeadlineExceededError("Spanner commit outcome unknown");

@@ -13,6 +13,7 @@
 #include "backend/billing.h"
 #include "backend/types.h"
 #include "common/clock.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "firestore/index/catalog.h"
 #include "firestore/rules/rules.h"
@@ -45,11 +46,14 @@ struct TriggerEvent {
 };
 
 // Failure injection for testing the protocol's error legs (paper §IV-D2
-// enumerates them).
+// enumerates them). Legacy shim over the global fault registry
+// (common/fault_injection.h): each flag arms/disarms a named fault point,
+// so arming here and arming the registry directly are equivalent.
 struct CommitFaults {
-  bool rtcache_unavailable = false;   // Prepare fails -> write fails
-  bool spanner_commit_fails = false;  // definitive failure -> Accept(kFailed)
-  bool unknown_outcome = false;       // commit "times out" -> Accept(kUnknown)
+  bool rtcache_unavailable = false;   // "committer.prepare" -> write fails
+  bool spanner_commit_fails = false;  // "committer.commit" -> Accept(kFailed)
+  bool unknown_outcome = false;       // "committer.outcome_unknown"
+                                      //   -> Accept(kUnknown)
 };
 
 class Committer {
@@ -57,6 +61,12 @@ class Committer {
   struct Options {
     // Margin added to now for the max commit timestamp M.
     Micros max_commit_margin = 2'000'000;
+    // Backoff shape for RunTransaction's retry loop (max_attempts is taken
+    // from the RunTransaction argument). The sleeper receives each backoff
+    // delay; when null the delay is virtual (tests, simulation).
+    RetryPolicy retry_policy;
+    uint64_t retry_seed = 0x5eed;
+    std::function<void(Micros)> retry_sleep;
   };
 
   Committer(spanner::Database* spanner, const Clock* clock)
@@ -67,7 +77,8 @@ class Committer {
   // Optional collaborators.
   void set_realtime(RealTimeParticipant* rt) { realtime_ = rt; }
   void set_billing(BillingLedger* billing) { billing_ = billing; }
-  void set_faults(const CommitFaults& faults) { faults_ = faults; }
+  // Legacy fault shim: arms/disarms the global registry (see CommitFaults).
+  static void set_faults(const CommitFaults& faults);
 
   // Commits `mutations` atomically for `database_id`.
   //
@@ -86,9 +97,11 @@ class Committer {
 
   // Runs `body` inside a Firestore transaction: the callback reads through
   // the transaction (acquiring locks) and returns the mutations to apply;
-  // the whole thing commits atomically. Retries on ABORTED up to
-  // `max_attempts` (the Server SDKs' automatic retry with backoff,
-  // paper §III-D).
+  // the whole thing commits atomically. Retries pre-apply failures —
+  // ABORTED (wound-wait), UNAVAILABLE, lock-wait timeouts — up to
+  // `max_attempts` with the Options backoff (the Server SDKs' automatic
+  // retry with backoff, paper §III-D). An unknown-outcome commit is NOT
+  // retried: the write may have landed.
   using TransactionBody = std::function<StatusOr<std::vector<Mutation>>(
       spanner::ReadWriteTransaction& txn)>;
   StatusOr<CommitResponse> RunTransaction(
@@ -110,7 +123,6 @@ class Committer {
   Options options_;
   RealTimeParticipant* realtime_ = nullptr;
   BillingLedger* billing_ = nullptr;
-  CommitFaults faults_;
 };
 
 }  // namespace firestore::backend

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace firestore::client {
@@ -220,6 +221,16 @@ void FirestoreClient::OnServerSnapshot(ListenerId id,
   auto it = listeners_.find(id);
   if (it == listeners_.end()) return;
   Listener& listener = it->second;
+  if (!s.error.ok()) {
+    // Terminal: the frontend exhausted its out-of-sync recovery budget and
+    // removed the target. Fall back to cache-backed views; reconnecting
+    // (SetNetworkEnabled) re-attaches.
+    FS_LOG(WARNING) << "listen terminated: " << s.error;
+    listener.attached = false;
+    listener.has_server_snapshot = false;
+    DeliverView(listener);
+    return;
+  }
   if (s.is_reset) listener.server_docs.clear();
   for (const frontend::SnapshotChange& change : s.changes) {
     const std::string name = change.doc.name().CanonicalString();
@@ -279,12 +290,19 @@ StatusOr<backend::CommitResponse> FirestoreClient::SendCommit(
 }
 
 Status FirestoreClient::FlushPending() {
+  if (service_->clock().NowMicros() < flush_retry_at_) {
+    return Status::Ok();  // backing off after a transient failure
+  }
   while (store_.HasPending()) {
     const PendingMutation& next = store_.pending().front();
+    Status fault = FS_FAULT_POINT("client.flush");
     StatusOr<backend::CommitResponse> result =
-        SendCommit({next.mutation});
+        fault.ok() ? SendCommit({next.mutation})
+                   : StatusOr<backend::CommitResponse>(fault);
     if (result.ok()) {
       ++writes_flushed_;
+      flush_retry_at_ = 0;
+      flush_prev_backoff_ = 0;
       for (const backend::DocumentChange& change : result->changes) {
         store_.ApplyServerDocument(
             change.name,
@@ -292,10 +310,17 @@ Status FirestoreClient::FlushPending() {
             result->commit_ts);
       }
       store_.AckThrough(next.sequence);
-    } else if (result.status().code() == StatusCode::kAborted ||
-               result.status().code() == StatusCode::kUnavailable ||
+    } else if (IsRetryableWriteStatus(result.status()) ||
                result.status().code() == StatusCode::kDeadlineExceeded) {
-      // Transient: retry on a later pump.
+      // Transient (mutations are blind last-write-wins, so even an
+      // unknown-outcome DEADLINE_EXCEEDED is safe to resend): back off and
+      // retry on a later pump, honoring any server retry-after hint.
+      Micros delay = NextBackoff(options_.flush_retry, flush_rng_,
+                                 &flush_prev_backoff_);
+      if (std::optional<Micros> hint = RetryAfterHint(result.status())) {
+        delay = std::max(delay, *hint);
+      }
+      flush_retry_at_ = service_->clock().NowMicros() + delay;
       return result.status();
     } else {
       // Permanent rejection (e.g. permission denied): drop the mutation so

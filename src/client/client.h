@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "client/local_store.h"
+#include "common/random.h"
+#include "common/retry.h"
 #include "service/service.h"
 
 namespace firestore::client {
@@ -60,6 +62,12 @@ class FirestoreClient {
     // Persist the local cache across Restart() (end-user privacy choice,
     // paper §IV-E).
     bool persist_cache = true;
+    // Backoff shape for the mutation queue's flush retries ("automatic
+    // retry with backoff", paper §III-D). max_attempts is ignored: queued
+    // writes are already acknowledged locally, so transient flush failures
+    // retry indefinitely with capped backoff.
+    RetryPolicy flush_retry;
+    uint64_t flush_retry_seed = 0x5eed;
   };
 
   FirestoreClient(service::FirestoreService* service, std::string database_id,
@@ -159,6 +167,10 @@ class FirestoreClient {
   std::map<ListenerId, Listener> listeners_;
   int64_t writes_flushed_ = 0;
   int64_t write_errors_ = 0;
+  // Flush backoff state: no flush is attempted before flush_retry_at_.
+  Rng flush_rng_{options_.flush_retry_seed};
+  Micros flush_retry_at_ = 0;
+  Micros flush_prev_backoff_ = 0;
 };
 
 }  // namespace firestore::client

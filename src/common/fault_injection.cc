@@ -1,0 +1,138 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace firestore {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& name, FaultConfig config) {
+  MutexLock lock(&mu_);
+  PointState& point = points_[name];
+  if (!point.armed) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  point.armed = true;
+  point.hits = 0;
+  point.fires = 0;
+  point.rng = std::make_unique<Rng>(config.seed);
+  point.config = std::move(config);
+}
+
+void FaultRegistry::Disarm(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  it->second.rng.reset();
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  MutexLock lock(&mu_);
+  for (auto& [name, point] : points_) {
+    if (point.armed) {
+      point.armed = false;
+      point.rng.reset();
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FaultRegistry::SetLatencyClock(ManualClock* clock) {
+  latency_clock_.store(clock, std::memory_order_release);
+}
+
+void FaultRegistry::RegisterPoint(const char* name) {
+  MutexLock lock(&mu_);
+  points_.try_emplace(name);
+}
+
+std::vector<FaultPointStats> FaultRegistry::KnownPoints() const {
+  MutexLock lock(&mu_);
+  std::vector<FaultPointStats> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    out.push_back({name, point.armed, point.hits, point.fires,
+                   point.total_hits, point.total_fires});
+  }
+  return out;
+}
+
+FaultPointStats FaultRegistry::StatsFor(const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return {name, false, 0, 0, 0, 0};
+  const PointState& point = it->second;
+  return {name, point.armed, point.hits,
+          point.fires, point.total_hits, point.total_fires};
+}
+
+bool FaultRegistry::FireLocked(std::string_view name, FaultAction* action) {
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return false;
+  PointState& point = it->second;
+  ++point.hits;
+  ++point.total_hits;
+  if (point.hits <= point.config.skip_first) return false;
+  if (point.config.max_fires >= 0 &&
+      point.fires >= point.config.max_fires) {
+    return false;
+  }
+  if (point.config.probability < 1.0 &&
+      !point.rng->Bernoulli(point.config.probability)) {
+    return false;
+  }
+  ++point.fires;
+  ++point.total_fires;
+  *action = point.config.action;
+  return true;
+}
+
+void FaultRegistry::ApplyLatency(Micros latency) {
+  if (latency <= 0) return;
+  ManualClock* clock = latency_clock_.load(std::memory_order_acquire);
+  if (clock != nullptr) {
+    clock->AdvanceBy(latency);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(latency));
+}
+
+Status FaultRegistry::Evaluate(std::string_view name) {
+  FaultAction action;
+  {
+    MutexLock lock(&mu_);
+    if (!FireLocked(name, &action)) return Status::Ok();
+  }
+  // The action is applied outside the registry lock so a latency action
+  // cannot stall other fault points (or invert lock orders via the clock).
+  switch (action.kind) {
+    case FaultAction::Kind::kReturnStatus:
+      return action.status;
+    case FaultAction::Kind::kLatency:
+      ApplyLatency(action.latency);
+      return Status::Ok();
+    case FaultAction::Kind::kDrop:
+      return Status::Ok();  // dropping is meaningless at a status site
+  }
+  return Status::Ok();
+}
+
+bool FaultRegistry::EvaluateTriggered(std::string_view name) {
+  FaultAction action;
+  {
+    MutexLock lock(&mu_);
+    if (!FireLocked(name, &action)) return false;
+  }
+  if (action.kind == FaultAction::Kind::kLatency) {
+    ApplyLatency(action.latency);
+  }
+  return true;
+}
+
+}  // namespace firestore

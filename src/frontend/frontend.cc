@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bytes.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "firestore/index/layout.h"
 
@@ -21,6 +22,17 @@ Frontend::Frontend(const Clock* clock, backend::ReadService* reader,
       matcher_(matcher),
       ranges_(ranges),
       tenants_(std::move(tenants)) {}
+
+Frontend::Frontend(const Clock* clock, backend::ReadService* reader,
+                   rtcache::QueryMatcher* matcher,
+                   const rtcache::RangeOwnership* ranges,
+                   TenantResolver tenants, Options options)
+    : clock_(clock),
+      reader_(reader),
+      matcher_(matcher),
+      ranges_(ranges),
+      tenants_(std::move(tenants)),
+      options_(options) {}
 
 Frontend::ConnectionId Frontend::OpenConnection(
     const std::string& database_id, rules::AuthContext auth) {
@@ -110,6 +122,7 @@ Status Frontend::StopListen(ConnectionId connection, TargetId target_id) {
 
 StatusOr<QuerySnapshot> Frontend::ResetTargetLocked(TargetId id,
                                                     Target& target) {
+  RETURN_IF_ERROR(FS_FAULT_POINT("frontend.initial_snapshot"));
   ASSIGN_OR_RETURN(TenantAccess tenant, tenants_(target.database_id));
   const rules::AuthContext* auth = nullptr;
   const rules::RuleSet* rules = nullptr;
@@ -123,25 +136,18 @@ StatusOr<QuerySnapshot> Frontend::ResetTargetLocked(TargetId id,
     rules = tenant.rules;
     auth = &conn->second.auth;
   }
-  // Step 2 (paper): the Backend runs the query like any other query; the
-  // response's timestamp becomes max-commit-version.
-  ASSIGN_OR_RETURN(backend::RunQueryResult initial,
-                   reader_->RunQuery(target.database_id, *tenant.catalog,
-                                     target.query, /*read_ts=*/0,
-                                     rules, auth));
-  target.max_commit_version = initial.read_ts;
-  target.results.clear();
-  target.pending.clear();
-  target.watermarks.clear();
-  target.needs_reset = false;
-  for (const Document& doc : initial.result.documents) {
-    target.results.emplace(doc.name().CanonicalString(), doc);
-  }
-  // Steps 4: subscribe to the Query Matchers owning the document-name
-  // ranges that cover the query's result set.
+  // Subscribe to the Query Matchers owning the document-name ranges that
+  // cover the query's result set BEFORE taking the snapshot read. A commit
+  // landing between the read and the subscription would otherwise be
+  // released to the matcher with no subscriber and silently lost — too new
+  // for the snapshot, never buffered for the target. Subscribing first
+  // closes the window: concurrent deliveries block on mu_ until the reset
+  // completes, and OnRangeEvent then discards anything the snapshot
+  // already covers (event.ts <= max_commit_version).
   if (target.subscription_id != 0) {
     by_subscription_.erase(target.subscription_id);
     matcher_->Unsubscribe(target.subscription_id);
+    target.subscription_id = 0;
   }
   std::string start = index::EntityKeyPrefixForCollection(
       target.database_id, target.query.CollectionPath());
@@ -155,6 +161,32 @@ StatusOr<QuerySnapshot> Frontend::ResetTargetLocked(TargetId id,
       [this](uint64_t sub, const rtcache::RangeEvent& event) {
         OnRangeEvent(sub, event);
       });
+  // Step 2 (paper): the Backend runs the query like any other query; the
+  // response's timestamp becomes max-commit-version.
+  auto initial_or = reader_->RunQuery(target.database_id, *tenant.catalog,
+                                      target.query, /*read_ts=*/0,
+                                      rules, auth);
+  if (!initial_or.ok()) {
+    // Roll the subscription back so a failed fresh Listen leaks nothing;
+    // the out-of-sync retry loop re-subscribes on the next attempt, and
+    // its strong read covers whatever was released meanwhile.
+    by_subscription_.erase(target.subscription_id);
+    matcher_->Unsubscribe(target.subscription_id);
+    target.subscription_id = 0;
+    return initial_or.status();
+  }
+  backend::RunQueryResult initial = std::move(initial_or).value();
+  target.max_commit_version = initial.read_ts;
+  target.results.clear();
+  target.pending.clear();
+  target.watermarks.clear();
+  target.needs_reset = false;
+  target.reset_attempts = 0;
+  target.reset_retry_at = 0;
+  target.reset_prev_backoff = 0;
+  for (const Document& doc : initial.result.documents) {
+    target.results.emplace(doc.name().CanonicalString(), doc);
+  }
 
   QuerySnapshot snapshot;
   snapshot.snapshot_ts = target.max_commit_version;
@@ -247,11 +279,16 @@ QuerySnapshot Frontend::BuildSnapshotLocked(Target& target, Timestamp t) {
 void Frontend::Pump() {
   // Deliveries are collected under the lock and fired outside it.
   std::vector<std::pair<SnapshotCallback, QuerySnapshot>> deliveries;
+  std::vector<uint64_t> to_unsubscribe;
   {
     MutexLock lock(&mu_);
     // 1. Resets: out-of-sync targets and limit/offset targets with pending
-    //    relevant changes re-run their initial snapshot.
-    for (auto& [id, target] : targets_) {
+    //    relevant changes re-run their initial snapshot. Failed re-reads
+    //    retry with backoff; after the retry budget the target is torn down
+    //    and the listener is told via a terminal error snapshot.
+    for (auto it = targets_.begin(); it != targets_.end();) {
+      TargetId id = it->first;
+      Target& target = it->second;
       if (!target.needs_reset && !target.delta_capable &&
           !target.pending.empty()) {
         // Only reset when the pending changes are complete enough to have
@@ -260,16 +297,42 @@ void Frontend::Pump() {
           target.needs_reset = true;
         }
       }
-      if (!target.needs_reset) continue;
-      ++resets_;
-      StatusOr<QuerySnapshot> snapshot = ResetTargetLocked(id, target);
-      if (!snapshot.ok()) {
-        // Initial query failed (e.g. rules changed): drop the pending state
-        // and retry on the next pump.
-        target.needs_reset = true;
+      if (!target.needs_reset ||
+          clock_->NowMicros() < target.reset_retry_at) {
+        ++it;
         continue;
       }
-      deliveries.emplace_back(target.callback, std::move(*snapshot));
+      ++resets_;
+      StatusOr<QuerySnapshot> snapshot = ResetTargetLocked(id, target);
+      if (snapshot.ok()) {
+        deliveries.emplace_back(target.callback, std::move(*snapshot));
+        ++it;
+        continue;
+      }
+      ++target.reset_attempts;
+      if (target.reset_attempts < options_.reset_retry.max_attempts) {
+        target.reset_retry_at =
+            clock_->NowMicros() + NextBackoff(options_.reset_retry,
+                                              retry_rng_,
+                                              &target.reset_prev_backoff);
+        ++it;
+        continue;
+      }
+      // Budget exhausted: surface the failure and drop the target.
+      QuerySnapshot failure;
+      failure.snapshot_ts = target.max_commit_version;
+      failure.error = snapshot.status();
+      deliveries.emplace_back(target.callback, std::move(failure));
+      if (target.subscription_id != 0) {
+        by_subscription_.erase(target.subscription_id);
+        to_unsubscribe.push_back(target.subscription_id);
+      }
+      auto conn = connections_.find(target.connection);
+      if (conn != connections_.end()) {
+        auto& ts = conn->second.targets;
+        ts.erase(std::remove(ts.begin(), ts.end(), id), ts.end());
+      }
+      it = targets_.erase(it);
     }
     // 2. Connection-consistent incremental snapshots.
     for (auto& [conn_id, conn] : connections_) {
@@ -277,14 +340,21 @@ void Frontend::Pump() {
       Timestamp t = spanner::kMaxTimestamp;
       for (TargetId tid : conn.targets) {
         const Target& target = targets_.at(tid);
+        // An out-of-sync target cannot advance until its reset succeeds:
+        // the Changelog discarded part of its update stream, so deltas
+        // assembled now would silently skip the gap. It also pins the
+        // connection (queries on one connection advance together).
         Timestamp achievable =
-            std::max(target.max_commit_version,
-                     RangeWatermarkLocked(target));
+            target.needs_reset
+                ? target.max_commit_version
+                : std::max(target.max_commit_version,
+                           RangeWatermarkLocked(target));
         t = std::min(t, achievable);
       }
       if (t == spanner::kMaxTimestamp) continue;
       for (TargetId tid : conn.targets) {
         Target& target = targets_.at(tid);
+        if (target.needs_reset) continue;
         if (target.max_commit_version >= t) continue;
         if (RangeWatermarkLocked(target) < t) continue;  // cannot advance
         QuerySnapshot snapshot = BuildSnapshotLocked(target, t);
@@ -294,6 +364,7 @@ void Frontend::Pump() {
       }
     }
   }
+  for (uint64_t sub : to_unsubscribe) matcher_->Unsubscribe(sub);
   for (auto& [callback, snapshot] : deliveries) {
     ++snapshots_delivered_;
     callback(snapshot);

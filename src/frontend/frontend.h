@@ -27,6 +27,8 @@
 
 #include "backend/read_service.h"
 #include "common/clock.h"
+#include "common/random.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "firestore/query/query.h"
@@ -65,6 +67,9 @@ struct QuerySnapshot {
   bool is_reset = false;
   std::vector<SnapshotChange> changes;
   std::vector<model::Document> documents;  // full result, query order
+  // Terminal failure: set when out-of-sync recovery exhausted its retry
+  // budget. The listen target has been removed; no further snapshots follow.
+  Status error;
 };
 
 using SnapshotCallback = std::function<void(const QuerySnapshot&)>;
@@ -74,9 +79,21 @@ class Frontend {
   using ConnectionId = uint64_t;
   using TargetId = uint64_t;
 
+  struct Options {
+    // Budget and backoff for re-running an out-of-sync target's initial
+    // snapshot. After max_attempts consecutive failures the target is torn
+    // down and the listener receives a QuerySnapshot with `error` set.
+    RetryPolicy reset_retry;
+    uint64_t retry_seed = 0x5eed;
+  };
+
   Frontend(const Clock* clock, backend::ReadService* reader,
            rtcache::QueryMatcher* matcher,
            const rtcache::RangeOwnership* ranges, TenantResolver tenants);
+  Frontend(const Clock* clock, backend::ReadService* reader,
+           rtcache::QueryMatcher* matcher,
+           const rtcache::RangeOwnership* ranges, TenantResolver tenants,
+           Options options);
 
   // Opens a long-lived connection for one end user to one database; the
   // tenant's security rules authorize every query with this auth context.
@@ -122,6 +139,11 @@ class Frontend {
     // Queries with limit/offset are re-run on every relevant change (the
     // frontend cannot know which document enters a truncated result set).
     bool delta_capable = true;
+    // Out-of-sync recovery state: consecutive failed reset attempts, the
+    // earliest time the next attempt may run, and the backoff memory.
+    int reset_attempts = 0;
+    Micros reset_retry_at = 0;
+    Micros reset_prev_backoff = 0;
   };
 
   struct Connection {
@@ -151,8 +173,10 @@ class Frontend {
   rtcache::QueryMatcher* matcher_;
   const rtcache::RangeOwnership* ranges_;
   TenantResolver tenants_;
+  Options options_;
 
   mutable Mutex mu_;
+  Rng retry_rng_ FS_GUARDED_BY(mu_){options_.retry_seed};
   uint64_t next_id_ FS_GUARDED_BY(mu_) = 1;
   std::map<ConnectionId, Connection> connections_ FS_GUARDED_BY(mu_);
   std::map<TargetId, Target> targets_ FS_GUARDED_BY(mu_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "firestore/index/layout.h"
 
@@ -12,33 +13,6 @@ using backend::PrepareHandle;
 using backend::WriteOutcome;
 using spanner::Timestamp;
 
-namespace {
-
-// Deferred notifications, fired outside the Changelog lock so that sinks may
-// re-enter the Real-time Cache.
-struct Notifications {
-  struct Release {
-    std::string database_id;
-    RangeId range;
-    Timestamp ts;
-    DocumentChange change;
-  };
-  std::vector<Release> releases;
-  std::vector<std::pair<RangeId, Timestamp>> watermarks;
-  std::vector<RangeId> out_of_sync;
-
-  void FireTo(QueryMatcher* matcher) {
-    for (RangeId r : out_of_sync) matcher->OnOutOfSync(r);
-    for (Release& rel : releases) {
-      matcher->OnDocumentChange(rel.database_id, rel.range, rel.ts,
-                                rel.change);
-    }
-    for (auto& [range, ts] : watermarks) matcher->OnWatermark(range, ts);
-  }
-};
-
-}  // namespace
-
 Changelog::Changelog(const Clock* clock, const RangeOwnership* ranges,
                      QueryMatcher* matcher)
     : clock_(clock), ranges_(ranges), matcher_(matcher) {}
@@ -47,13 +21,22 @@ Changelog::Changelog(const Clock* clock, const RangeOwnership* ranges,
                      QueryMatcher* matcher, Options options)
     : clock_(clock), ranges_(ranges), matcher_(matcher), options_(options) {}
 
+void Changelog::set_unavailable(bool unavailable) {
+  if (unavailable) {
+    FaultConfig config;
+    config.action =
+        FaultAction::Fail(UnavailableError("Changelog unavailable (injected)"));
+    FaultRegistry::Global().Arm("rtcache.prepare", std::move(config));
+  } else {
+    FaultRegistry::Global().Disarm("rtcache.prepare");
+  }
+}
+
 StatusOr<PrepareHandle> Changelog::Prepare(
     const std::string& database_id,
     const std::vector<model::ResourcePath>& names,
     Timestamp max_commit_ts) {
-  if (unavailable_.load(std::memory_order_relaxed)) {
-    return UnavailableError("Changelog unavailable (injected)");
-  }
+  RETURN_IF_ERROR(FS_FAULT_POINT("rtcache.prepare"));
   MutexLock lock(&mu_);
   ++prepares_;
   std::vector<RangeId> touched;
@@ -90,7 +73,9 @@ StatusOr<PrepareHandle> Changelog::Prepare(
 void Changelog::Accept(uint64_t token, WriteOutcome outcome,
                        Timestamp commit_ts,
                        const std::vector<DocumentChange>& changes) {
-  Notifications notify;
+  // A dropped Accept leaves the Prepare pending until its expiry marks the
+  // affected ranges out-of-sync — the paper's lost-Accept recovery leg.
+  if (FS_FAULT_TRIGGERED("rtcache.accept.drop")) return;
   {
     MutexLock lock(&mu_);
     ++accepts_;
@@ -113,10 +98,7 @@ void Changelog::Accept(uint64_t token, WriteOutcome outcome,
         break;  // dropped
       case WriteOutcome::kUnknown:
         // Ordering can no longer be guaranteed for these ranges.
-        for (RangeId r : pending.ranges) {
-          MarkOutOfSyncLocked(r);
-          notify.out_of_sync.push_back(r);
-        }
+        for (RangeId r : pending.ranges) MarkOutOfSyncLocked(r);
         break;
       case WriteOutcome::kSuccess:
         FS_CHECK_GE(commit_ts, pending.min_ts);
@@ -137,19 +119,19 @@ void Changelog::Accept(uint64_t token, WriteOutcome outcome,
       while (!state.buffer.empty() &&
              state.buffer.begin()->first <= releasable) {
         auto entry = state.buffer.begin();
-        notify.releases.push_back({entry->second.database_id, r,
-                                   entry->first,
-                                   std::move(entry->second.change)});
+        notify_queue_.push_back({Notification::Kind::kRelease, r,
+                                 entry->first,
+                                 std::move(entry->second.database_id),
+                                 std::move(entry->second.change)});
         state.buffer.erase(entry);
         ++mutations_released_;
       }
     }
   }
-  notify.FireTo(matcher_);
+  DrainNotifications();
 }
 
 void Changelog::Tick() {
-  Notifications notify;
   {
     MutexLock lock(&mu_);
     Timestamp now = clock_->NowMicros();
@@ -159,10 +141,7 @@ void Changelog::Tick() {
         ++it;
         continue;
       }
-      for (RangeId r : it->second.ranges) {
-        MarkOutOfSyncLocked(r);
-        notify.out_of_sync.push_back(r);
-      }
+      for (RangeId r : it->second.ranges) MarkOutOfSyncLocked(r);
       it = pending_.erase(it);
     }
     // Advance watermarks and release complete prefixes.
@@ -175,16 +154,18 @@ void Changelog::Tick() {
       state.watermark = w;
       while (!state.buffer.empty() && state.buffer.begin()->first <= w) {
         auto entry = state.buffer.begin();
-        notify.releases.push_back({entry->second.database_id, r,
-                                   entry->first,
-                                   std::move(entry->second.change)});
+        notify_queue_.push_back({Notification::Kind::kRelease, r,
+                                 entry->first,
+                                 std::move(entry->second.database_id),
+                                 std::move(entry->second.change)});
         state.buffer.erase(entry);
         ++mutations_released_;
       }
-      notify.watermarks.emplace_back(r, w);
+      notify_queue_.push_back(
+          {Notification::Kind::kWatermark, r, w, {}, {}});
     }
   }
-  notify.FireTo(matcher_);
+  DrainNotifications();
 }
 
 void Changelog::MarkOutOfSyncLocked(RangeId range) {
@@ -195,6 +176,41 @@ void Changelog::MarkOutOfSyncLocked(RangeId range) {
   state.last_assigned_min = std::max(state.last_assigned_min,
                                      state.watermark);
   ++out_of_sync_events_;
+  notify_queue_.push_back(
+      {Notification::Kind::kOutOfSync, range, state.watermark, {}, {}});
+}
+
+void Changelog::DrainNotifications() {
+  {
+    MutexLock lock(&mu_);
+    // The active drainer re-checks the queue after every entry, so anything
+    // we just enqueued will be fired by it, in order.
+    if (notifying_) return;
+    notifying_ = true;
+  }
+  for (;;) {
+    Notification n;
+    {
+      MutexLock lock(&mu_);
+      if (notify_queue_.empty()) {
+        notifying_ = false;
+        return;
+      }
+      n = std::move(notify_queue_.front());
+      notify_queue_.pop_front();
+    }
+    switch (n.kind) {
+      case Notification::Kind::kRelease:
+        matcher_->OnDocumentChange(n.database_id, n.range, n.ts, n.change);
+        break;
+      case Notification::Kind::kWatermark:
+        matcher_->OnWatermark(n.range, n.ts);
+        break;
+      case Notification::Kind::kOutOfSync:
+        matcher_->OnOutOfSync(n.range);
+        break;
+    }
+  }
 }
 
 Timestamp Changelog::watermark(RangeId range) const {

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -57,11 +58,10 @@ class Changelog : public backend::RealTimeParticipant {
   // and forwards watermarks to the Query Matcher.
   void Tick();
 
-  // Fault injection: Prepares fail while unavailable. Atomic so the fault
-  // can be injected while committers are in flight.
-  void set_unavailable(bool unavailable) {
-    unavailable_.store(unavailable, std::memory_order_relaxed);
-  }
+  // Legacy fault-injection shim: arms/disarms the global "rtcache.prepare"
+  // fault point (common/fault_injection.h), under which Prepares fail
+  // UNAVAILABLE. Process-global, like the registry it fronts.
+  static void set_unavailable(bool unavailable);
 
   spanner::Timestamp watermark(RangeId range) const;
 
@@ -94,18 +94,36 @@ class Changelog : public backend::RealTimeParticipant {
     spanner::Timestamp last_assigned_min = 0;
   };
 
+  // A state mutation and the notification it implies are enqueued in the
+  // same critical section, so queue order equals logical order. A single
+  // active drainer fires entries FIFO outside the lock; this guarantees a
+  // watermark never reaches the Query Matcher before the releases and
+  // out-of-sync marks it covers — concurrent Accept/Tick callers firing
+  // independently could otherwise let a Frontend claim a snapshot
+  // timestamp whose mutations are still in flight on another thread.
+  struct Notification {
+    enum class Kind { kRelease, kWatermark, kOutOfSync };
+    Kind kind = Kind::kWatermark;
+    RangeId range = 0;
+    spanner::Timestamp ts = 0;
+    std::string database_id;            // kRelease only
+    backend::DocumentChange change;     // kRelease only
+  };
+
   void MarkOutOfSyncLocked(RangeId range) FS_REQUIRES(mu_);
+  void DrainNotifications() FS_EXCLUDES(mu_);
 
   const Clock* clock_;
   const RangeOwnership* ranges_;
   QueryMatcher* matcher_;
   Options options_;
-  std::atomic<bool> unavailable_{false};
 
   mutable Mutex mu_;
   uint64_t next_token_ FS_GUARDED_BY(mu_) = 1;
   std::map<uint64_t, PendingPrepare> pending_ FS_GUARDED_BY(mu_);
   std::map<RangeId, RangeState> range_states_ FS_GUARDED_BY(mu_);
+  std::deque<Notification> notify_queue_ FS_GUARDED_BY(mu_);
+  bool notifying_ FS_GUARDED_BY(mu_) = false;
   std::atomic<int64_t> prepares_{0};
   std::atomic<int64_t> accepts_{0};
   std::atomic<int64_t> out_of_sync_events_{0};

@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include "common/bytes.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "firestore/index/layout.h"
 
@@ -45,7 +46,8 @@ FirestoreService::FirestoreService(const Clock* clock, Options options)
         access.rules = it->second->rules.get();
         access.keepalive = it->second;
         return access;
-      });
+      },
+      options.frontend_options);
 }
 
 Status FirestoreService::CreateDatabase(const std::string& database_id,
@@ -171,6 +173,7 @@ Status FirestoreService::RegisterTrigger(
 StatusOr<CommitResponse> FirestoreService::Commit(
     const std::string& database_id,
     const std::vector<Mutation>& mutations) {
+  RETURN_IF_ERROR(FS_FAULT_POINT("service.commit"));
   ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
                    GetTenant(database_id));
   return committer_.Commit(database_id, tenant->catalog, mutations,
@@ -180,6 +183,7 @@ StatusOr<CommitResponse> FirestoreService::Commit(
 StatusOr<std::optional<Document>> FirestoreService::Get(
     const std::string& database_id, const ResourcePath& name,
     Timestamp read_ts) {
+  RETURN_IF_ERROR(FS_FAULT_POINT("service.get"));
   RETURN_IF_ERROR(GetTenant(database_id).status());
   return reader_.GetDocument(database_id, name, read_ts);
 }
@@ -187,6 +191,7 @@ StatusOr<std::optional<Document>> FirestoreService::Get(
 StatusOr<backend::RunQueryResult> FirestoreService::RunQuery(
     const std::string& database_id, const query::Query& q,
     Timestamp read_ts) {
+  RETURN_IF_ERROR(FS_FAULT_POINT("service.query"));
   ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
                    GetTenant(database_id));
   return reader_.RunQuery(database_id, tenant->catalog, q, read_ts);
@@ -212,6 +217,7 @@ StatusOr<backend::RunAggregateResult> FirestoreService::RunSumQuery(
 StatusOr<CommitResponse> FirestoreService::RunTransaction(
     const std::string& database_id,
     const backend::Committer::TransactionBody& body) {
+  RETURN_IF_ERROR(FS_FAULT_POINT("service.commit"));
   ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
                    GetTenant(database_id));
   return committer_.RunTransaction(database_id, tenant->catalog, body,
@@ -221,6 +227,7 @@ StatusOr<CommitResponse> FirestoreService::RunTransaction(
 StatusOr<CommitResponse> FirestoreService::CommitAsUser(
     const std::string& database_id, const rules::AuthContext& auth,
     const std::vector<Mutation>& mutations) {
+  RETURN_IF_ERROR(FS_FAULT_POINT("service.commit"));
   ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
                    GetTenant(database_id));
   if (tenant->rules == nullptr) {

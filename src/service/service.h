@@ -52,6 +52,8 @@ class FirestoreService {
     // range boundaries inside a tenant's key space).
     std::vector<std::string> realtime_split_points;
     Micros truetime_uncertainty = 1000;
+    // Passed through to the Frontend (out-of-sync recovery budget/backoff).
+    frontend::Frontend::Options frontend_options;
   };
 
   explicit FirestoreService(const Clock* clock);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace firestore::spanner {
@@ -30,6 +31,7 @@ StatusOr<RowValue> ReadWriteTransaction::Read(const std::string& table,
                                               Timestamp* version) {
   if (finished_) return FailedPreconditionError("transaction finished");
   if (version != nullptr) *version = 0;
+  RETURN_IF_ERROR(FS_FAULT_POINT("spanner.txn.read"));
   RETURN_IF_ERROR(db_->lock_manager_.Acquire(id_, LockKey(table, key), mode,
                                              db_->lock_timeout_ms()));
   // Read-your-writes.
@@ -50,6 +52,7 @@ StatusOr<std::vector<ScanRow>> ReadWriteTransaction::Scan(
     const std::string& table, const Key& start, const Key& limit,
     int64_t max_rows) {
   if (finished_) return FailedPreconditionError("transaction finished");
+  RETURN_IF_ERROR(FS_FAULT_POINT("spanner.txn.scan"));
   std::vector<ScanRow> rows;
   {
     ReaderMutexLock data_lock(&db_->data_mu_);
@@ -114,6 +117,12 @@ void ReadWriteTransaction::AddMessage(const std::string& topic,
 StatusOr<CommitResult> ReadWriteTransaction::Commit(Timestamp min_allowed,
                                                     Timestamp max_allowed) {
   if (finished_) return FailedPreconditionError("transaction finished");
+  // Injected commit failures happen before any locks or data are touched,
+  // so they are always definitive (safe to retry).
+  if (Status fault = FS_FAULT_POINT("spanner.txn.commit"); !fault.ok()) {
+    Abort();
+    return fault;
+  }
   if (db_->lock_manager_.IsWounded(id_)) {
     Abort();
     return AbortedError("transaction wounded by an older transaction");
@@ -213,6 +222,7 @@ std::unique_ptr<ReadWriteTransaction> Database::BeginTransaction() {
 StatusOr<RowValue> Database::SnapshotRead(const std::string& table,
                                           const Key& key, Timestamp ts,
                                           Timestamp* version) const {
+  RETURN_IF_ERROR(FS_FAULT_POINT("spanner.snapshot.read"));
   ReaderMutexLock lock(&data_mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return NotFoundError("no such table: " + table);
@@ -222,6 +232,7 @@ StatusOr<RowValue> Database::SnapshotRead(const std::string& table,
 StatusOr<std::vector<ScanRow>> Database::SnapshotScan(
     const std::string& table, const Key& start, const Key& limit,
     Timestamp ts, int64_t max_rows) const {
+  RETURN_IF_ERROR(FS_FAULT_POINT("spanner.snapshot.scan"));
   ReaderMutexLock lock(&data_mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) return NotFoundError("no such table: " + table);

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/fault_injection.h"
+
 namespace firestore::spanner {
 
 bool LockManager::Compatible(const LockState& state, TxnId txn,
@@ -17,6 +19,7 @@ bool LockManager::Compatible(const LockState& state, TxnId txn,
 
 Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
                             int64_t timeout_ms) {
+  RETURN_IF_ERROR(FS_FAULT_POINT("spanner.lock.acquire"));
   MutexLock lock(&mu_);
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout_ms);

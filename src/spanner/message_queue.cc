@@ -1,9 +1,21 @@
 #include "spanner/message_queue.h"
 
+#include "common/fault_injection.h"
+
 namespace firestore::spanner {
 
 void MessageQueue::Push(QueueMessage message) {
+  bool drop = FS_FAULT_TRIGGERED("spanner.queue.push.drop");
+  bool reorder = !drop && FS_FAULT_TRIGGERED("spanner.queue.push.reorder");
   MutexLock lock(&mu_);
+  if (drop) {
+    ++dropped_;
+    return;
+  }
+  if (reorder) {
+    topics_[message.topic].push_front(std::move(message));
+    return;
+  }
   topics_[message.topic].push_back(std::move(message));
 }
 
@@ -20,6 +32,11 @@ size_t MessageQueue::Size(const std::string& topic) const {
   MutexLock lock(&mu_);
   auto it = topics_.find(topic);
   return it == topics_.end() ? 0 : it->second.size();
+}
+
+int64_t MessageQueue::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
 }
 
 }  // namespace firestore::spanner

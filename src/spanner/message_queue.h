@@ -27,6 +27,10 @@ struct QueueMessage {
 
 class MessageQueue {
  public:
+  // Appends the message to its topic. Fault points "spanner.queue.push.drop"
+  // and "spanner.queue.push.reorder" can drop the message entirely (counted
+  // in dropped()) or push it at the front of the topic, simulating a lossy /
+  // reordering delivery fabric.
   void Push(QueueMessage message);
 
   // Oldest message on `topic`, removed; nullopt if the topic is empty.
@@ -34,9 +38,13 @@ class MessageQueue {
 
   size_t Size(const std::string& topic) const;
 
+  // Messages discarded by the injected drop fault.
+  int64_t dropped() const;
+
  private:
   mutable Mutex mu_;
   std::map<std::string, std::deque<QueueMessage>> topics_ FS_GUARDED_BY(mu_);
+  int64_t dropped_ FS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace firestore::spanner

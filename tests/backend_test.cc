@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "backend/committer.h"
 #include "backend/read_service.h"
 #include "firestore/codec/document_codec.h"
@@ -232,6 +235,7 @@ TEST(CommitterTest, RtCacheUnavailableFaultFailsWrite) {
   auto result = t.committer().Commit(
       t.id(), t.catalog(), {Mutation::Set(Path("/r/one"), {})});
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  t.committer().set_faults(CommitFaults{});  // shim is process-global
 }
 
 TEST(CommitterTest, SpannerFailureSendsFailedAccept) {
@@ -248,6 +252,7 @@ TEST(CommitterTest, SpannerFailureSendsFailedAccept) {
   EXPECT_EQ(rt.last_outcome, WriteOutcome::kFailed);
   EXPECT_FALSE(
       t.reader().GetDocument(t.id(), Path("/r/one"))->has_value());
+  t.committer().set_faults(CommitFaults{});  // shim is process-global
 }
 
 TEST(CommitterTest, UnknownOutcomeCommitsButReportsUnknown) {
@@ -265,6 +270,70 @@ TEST(CommitterTest, UnknownOutcomeCommitsButReportsUnknown) {
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(rt.last_outcome, WriteOutcome::kUnknown);
   EXPECT_TRUE(t.reader().GetDocument(t.id(), Path("/r/one"))->has_value());
+  t.committer().set_faults(CommitFaults{});  // shim is process-global
+}
+
+// ---------------------------------------------------------------------------
+// Lock-wait-timeout retries (the unified retry layer's write-path
+// classification: a timed-out lock wait failed before any data was applied,
+// so RunTransaction may safely retry it)
+
+TEST(CommitterTest, LockWaitTimeoutExhaustsRetriesThenFailsCleanly) {
+  TestTenant t;
+  t.spanner().set_lock_timeout_ms(20);
+  std::string hot_key = index::EntityKey(t.id(), Path("/r/hot"));
+  // An older transaction holds the row exclusively for the whole test, so
+  // every attempt (always younger; wound-wait never wounds the holder) times
+  // out waiting.
+  auto blocker = t.spanner().BeginTransaction();
+  ASSERT_TRUE(blocker
+                  ->Read(index::kEntitiesTable, hot_key,
+                         spanner::LockMode::kExclusive)
+                  .ok());
+  int attempts = 0;
+  auto result = t.committer().RunTransaction(
+      t.id(), t.catalog(),
+      [&attempts](spanner::ReadWriteTransaction&)
+          -> StatusOr<std::vector<Mutation>> {
+        ++attempts;
+        return std::vector<Mutation>{Mutation::Set(Path("/r/hot"), {})};
+      },
+      {}, /*max_attempts=*/3);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("lock wait timeout"),
+            std::string::npos);
+  EXPECT_EQ(attempts, 3);
+  blocker->Abort();
+  // Failed attempts released everything they held.
+  EXPECT_EQ(t.spanner().lock_manager().LockCount(), 0);
+  EXPECT_FALSE(t.reader().GetDocument(t.id(), Path("/r/hot"))->has_value());
+}
+
+TEST(CommitterTest, LockWaitTimeoutRetrySucceedsAfterHolderReleases) {
+  TestTenant t;
+  t.spanner().set_lock_timeout_ms(20);
+  std::string hot_key = index::EntityKey(t.id(), Path("/r/hot"));
+  auto blocker = t.spanner().BeginTransaction();
+  ASSERT_TRUE(blocker
+                  ->Read(index::kEntitiesTable, hot_key,
+                         spanner::LockMode::kExclusive)
+                  .ok());
+  // Release the row partway through the retry budget: the first attempt
+  // times out, a later attempt acquires the lock and commits.
+  std::thread releaser([&blocker] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    blocker->Abort();
+  });
+  auto result = t.committer().RunTransaction(
+      t.id(), t.catalog(),
+      [](spanner::ReadWriteTransaction&) -> StatusOr<std::vector<Mutation>> {
+        return std::vector<Mutation>{Mutation::Set(Path("/r/hot"), {})};
+      },
+      {}, /*max_attempts=*/10);
+  releaser.join();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(t.spanner().lock_manager().LockCount(), 0);
+  EXPECT_TRUE(t.reader().GetDocument(t.id(), Path("/r/hot"))->has_value());
 }
 
 // ---------------------------------------------------------------------------

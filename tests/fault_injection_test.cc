@@ -1,0 +1,151 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace firestore {
+namespace {
+
+// Every test disarms what it arms (the registry is process-global); the
+// fixture double-checks so a failing test cannot poison its neighbors.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultRegistry::Global().DisarmAll();
+    FaultRegistry::Global().SetLatencyClock(nullptr);
+  }
+};
+
+// The FS_FAULT_* macros need literal names (they register via a
+// function-local static); this helper exercises the same slow path with a
+// runtime name.
+Status Hit(const char* name) {
+  if (!FaultRegistry::AnyArmed()) return Status::Ok();
+  return FaultRegistry::Global().Evaluate(name);
+}
+
+TEST_F(FaultInjectionTest, DisarmedPointReturnsOk) {
+  EXPECT_FALSE(FaultRegistry::AnyArmed());
+  EXPECT_TRUE(FS_FAULT_POINT("test.disarmed").ok());
+  EXPECT_FALSE(FS_FAULT_TRIGGERED("test.disarmed.bool"));
+}
+
+TEST_F(FaultInjectionTest, ArmedPointReturnsConfiguredStatus) {
+  FaultConfig config;
+  config.action = FaultAction::Fail(UnavailableError("boom"));
+  FaultRegistry::Global().Arm("test.armed", config);
+  EXPECT_TRUE(FaultRegistry::AnyArmed());
+  Status s = Hit("test.armed");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "boom");
+  FaultRegistry::Global().Disarm("test.armed");
+  EXPECT_TRUE(Hit("test.armed").ok());
+}
+
+TEST_F(FaultInjectionTest, TriggerWindowSkipsThenFiresLimitedTimes) {
+  FaultConfig config;
+  config.skip_first = 2;
+  config.max_fires = 3;
+  config.action = FaultAction::Fail(AbortedError("windowed"));
+  FaultRegistry::Global().Arm("test.window", config);
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(!Hit("test.window").ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true, false,
+                                      false, false}));
+  FaultPointStats stats = FaultRegistry::Global().StatsFor("test.window");
+  EXPECT_EQ(stats.hits, 8);
+  EXPECT_EQ(stats.fires, 3);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicPerSeed) {
+  auto sequence = [](uint64_t seed) {
+    FaultConfig config;
+    config.probability = 0.5;
+    config.seed = seed;
+    config.action = FaultAction::Fail(UnavailableError("maybe"));
+    FaultRegistry::Global().Arm("test.prob", config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!Hit("test.prob").ok());
+    FaultRegistry::Global().Disarm("test.prob");
+    return fired;
+  };
+  std::vector<bool> a = sequence(7);
+  std::vector<bool> b = sequence(7);
+  std::vector<bool> c = sequence(8);
+  EXPECT_EQ(a, b);  // re-arming with the same seed replays the decisions
+  EXPECT_NE(a, c);
+  int fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 16);  // p=0.5 over 64 hits: loose sanity bounds
+  EXPECT_LT(fires, 48);
+}
+
+TEST_F(FaultInjectionTest, LatencyActionAdvancesInjectedClock) {
+  ManualClock clock(1'000);
+  FaultRegistry::Global().SetLatencyClock(&clock);
+  FaultConfig config;
+  config.action = FaultAction::Latency(250);
+  FaultRegistry::Global().Arm("test.latency", config);
+  EXPECT_TRUE(Hit("test.latency").ok());  // latency points still return OK
+  EXPECT_EQ(clock.NowMicros(), 1'250);
+  EXPECT_TRUE(FS_FAULT_TRIGGERED("test.latency"));
+  EXPECT_EQ(clock.NowMicros(), 1'500);
+}
+
+TEST_F(FaultInjectionTest, DropActionTriggersBoolSitesOnly) {
+  FaultConfig config;
+  config.action = FaultAction::Drop();
+  FaultRegistry::Global().Arm("test.drop", config);
+  EXPECT_TRUE(Hit("test.drop").ok());  // a status site cannot "drop"
+  EXPECT_TRUE(FS_FAULT_TRIGGERED("test.drop"));
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault("test.scoped",
+                      [] {
+                        FaultConfig c;
+                        c.action = FaultAction::Fail(UnavailableError("s"));
+                        return c;
+                      }());
+    EXPECT_FALSE(Hit("test.scoped").ok());
+  }
+  EXPECT_TRUE(Hit("test.scoped").ok());
+  EXPECT_FALSE(FaultRegistry::AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, KnownPointsIncludesEveryReachedPoint) {
+  // Macro sites self-register on first execution, even when disarmed.
+  (void)FS_FAULT_POINT("test.catalogued");
+  bool found = false;
+  for (const FaultPointStats& p : FaultRegistry::Global().KnownPoints()) {
+    if (p.name == "test.catalogued") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FaultInjectionTest, RearmResetsWindowAndStats) {
+  FaultConfig config;
+  config.max_fires = 1;
+  config.action = FaultAction::Fail(UnavailableError("once"));
+  FaultRegistry::Global().Arm("test.rearm", config);
+  EXPECT_FALSE(Hit("test.rearm").ok());
+  EXPECT_TRUE(Hit("test.rearm").ok());  // window exhausted
+  FaultRegistry::Global().Arm("test.rearm", config);
+  EXPECT_FALSE(Hit("test.rearm").ok());  // fresh window
+  // Window counters restart with the arm; lifetime totals accumulate
+  // across re-arms (chaos schedules sum them to prove non-vacuity).
+  FaultPointStats stats = FaultRegistry::Global().StatsFor("test.rearm");
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.fires, 1);
+  EXPECT_EQ(stats.total_hits, 3);
+  EXPECT_EQ(stats.total_fires, 2);
+}
+
+}  // namespace
+}  // namespace firestore

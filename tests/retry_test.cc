@@ -1,0 +1,171 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace firestore {
+namespace {
+
+TEST(RetryClassificationTest, GenericRetryableCodes) {
+  EXPECT_TRUE(IsRetryableStatus(UnavailableError("x")));
+  EXPECT_TRUE(IsRetryableStatus(AbortedError("x")));
+  EXPECT_TRUE(IsRetryableStatus(ResourceExhaustedError("x")));
+  EXPECT_FALSE(IsRetryableStatus(DeadlineExceededError("x")));
+  EXPECT_FALSE(IsRetryableStatus(NotFoundError("x")));
+  EXPECT_FALSE(IsRetryableStatus(PermissionDeniedError("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Ok()));
+}
+
+TEST(RetryClassificationTest, WritePathRetriesLockWaitTimeoutOnly) {
+  // A lock-wait timeout happens before any data is applied: safe to retry.
+  EXPECT_TRUE(
+      IsRetryableWriteStatus(DeadlineExceededError("lock wait timeout")));
+  // An unknown-outcome commit may have landed: retrying could duplicate it.
+  EXPECT_FALSE(IsRetryableWriteStatus(
+      DeadlineExceededError("Spanner commit outcome unknown")));
+  EXPECT_TRUE(IsRetryableWriteStatus(AbortedError("wounded")));
+}
+
+TEST(RetryHintTest, RoundTripsThroughStatusMessage) {
+  Status tagged = WithRetryAfter(ResourceExhaustedError("over limit"), 12345);
+  EXPECT_EQ(tagged.code(), StatusCode::kResourceExhausted);
+  std::optional<Micros> hint = RetryAfterHint(tagged);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, 12345);
+  EXPECT_FALSE(RetryAfterHint(ResourceExhaustedError("no hint")).has_value());
+  EXPECT_TRUE(WithRetryAfter(Status::Ok(), 5).ok());
+}
+
+TEST(BackoffTest, DecorrelatedJitterStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff = 1'000;
+  policy.max_backoff = 50'000;
+  Rng rng(42);
+  Micros prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    Micros d = NextBackoff(policy, rng, &prev);
+    EXPECT_GE(d, policy.initial_backoff);
+    EXPECT_LE(d, policy.max_backoff);
+  }
+}
+
+TEST(BackoffTest, DeterministicPerSeed) {
+  RetryPolicy policy;
+  auto schedule = [&policy](uint64_t seed) {
+    Rng rng(seed);
+    Micros prev = 0;
+    std::vector<Micros> out;
+    for (int i = 0; i < 10; ++i) out.push_back(NextBackoff(policy, rng, &prev));
+    return out;
+  };
+  EXPECT_EQ(schedule(1), schedule(1));
+  EXPECT_NE(schedule(1), schedule(2));
+}
+
+TEST(BackoffTest, PlainExponentialWithoutJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff = 1'000;
+  policy.max_backoff = 10'000;
+  policy.multiplier = 2.0;
+  policy.decorrelated_jitter = false;
+  Rng rng(1);
+  Micros prev = 0;
+  EXPECT_EQ(NextBackoff(policy, rng, &prev), 1'000);
+  EXPECT_EQ(NextBackoff(policy, rng, &prev), 2'000);
+  EXPECT_EQ(NextBackoff(policy, rng, &prev), 4'000);
+  EXPECT_EQ(NextBackoff(policy, rng, &prev), 8'000);
+  EXPECT_EQ(NextBackoff(policy, rng, &prev), 10'000);  // capped
+  EXPECT_EQ(NextBackoff(policy, rng, &prev), 10'000);
+}
+
+TEST(RetryStateTest, StopsAtMaxAttempts) {
+  ManualClock clock(0);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryState state(policy, &clock, 1);
+  EXPECT_TRUE(state.ShouldRetry(UnavailableError("x")));
+  EXPECT_TRUE(state.ShouldRetry(UnavailableError("x")));
+  EXPECT_FALSE(state.ShouldRetry(UnavailableError("x")));  // 3rd attempt used
+  EXPECT_EQ(state.attempts(), 3);
+  state.Reset();
+  EXPECT_TRUE(state.ShouldRetry(UnavailableError("x")));
+}
+
+TEST(RetryStateTest, NonRetryableDoesNotConsumeBudget) {
+  ManualClock clock(0);
+  RetryState state(RetryPolicy(), &clock, 1);
+  EXPECT_FALSE(state.ShouldRetry(NotFoundError("x")));
+  EXPECT_FALSE(state.ShouldRetry(Status::Ok()));
+}
+
+TEST(RetryStateTest, HonorsRetryAfterHintAsLowerBound) {
+  ManualClock clock(0);
+  RetryPolicy policy;
+  policy.initial_backoff = 10;
+  policy.max_backoff = 100;
+  RetryState state(policy, &clock, 1);
+  Micros delay = 0;
+  Status hinted =
+      WithRetryAfter(ResourceExhaustedError("over limit"), 5'000'000);
+  EXPECT_TRUE(state.ShouldRetry(hinted, &delay));
+  EXPECT_GE(delay, 5'000'000);
+}
+
+TEST(RetryStateTest, RespectsAbsoluteDeadline) {
+  ManualClock clock(1'000'000);
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff = 10'000;
+  policy.deadline = 1'005'000;  // only ~5ms of budget left
+  RetryState state(policy, &clock, 1);
+  // Any computed delay (>= 10ms) lands past the deadline.
+  EXPECT_FALSE(state.ShouldRetry(UnavailableError("x")));
+}
+
+TEST(RetryLoopTest, RetriesUntilSuccess) {
+  ManualClock clock(0);
+  int calls = 0;
+  Status result = RetryLoop(RetryPolicy(), &clock, 1, [&calls]() {
+    ++calls;
+    return calls < 3 ? UnavailableError("flaky") : Status::Ok();
+  });
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryLoopTest, ReturnsLastErrorAfterBudget) {
+  ManualClock clock(0);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int calls = 0;
+  std::vector<Micros> slept;
+  Status result = RetryLoop(
+      policy, &clock, 1,
+      [&calls]() {
+        ++calls;
+        return UnavailableError("always");
+      },
+      [&slept](Micros d) { slept.push_back(d); });
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(slept.size(), 3u);  // no sleep after the final attempt
+}
+
+TEST(RetryLoopTest, DoesNotRetryPermanentErrors) {
+  ManualClock clock(0);
+  int calls = 0;
+  Status result = RetryLoop(RetryPolicy(), &clock, 1, [&calls]() {
+    ++calls;
+    return PermissionDeniedError("no");
+  });
+  EXPECT_EQ(result.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace firestore
