@@ -57,8 +57,8 @@ class TrafficRampTracker {
     std::deque<Micros> recent;  // request times within the window
   };
 
-  const Clock* clock_;
-  Options options_;
+  const Clock* const clock_;
+  const Options options_;
   mutable Mutex mu_;
   std::map<std::string, State> per_db_ FS_GUARDED_BY(mu_);
 };
@@ -129,7 +129,7 @@ class AdmissionController {
   friend class Ticket;
   void ReleaseOne(const std::string& database_id);
 
-  Options options_;
+  const Options options_;
   mutable Mutex mu_;
   std::map<std::string, int> inflight_ FS_GUARDED_BY(mu_);
   std::map<std::string, int> limits_ FS_GUARDED_BY(mu_);

@@ -60,7 +60,7 @@ class BillingLedger {
   void ResetDay();
 
  private:
-  FreeQuota quota_;
+  const FreeQuota quota_;
   mutable Mutex mu_;
   std::map<std::string, UsageCounters> usage_ FS_GUARDED_BY(mu_);
 };

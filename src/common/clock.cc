@@ -1,0 +1,29 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace firestore {
+
+namespace {
+
+void RealSleep(Micros micros) {
+  if (micros <= 0) return;
+  // fslint: allow(determinism) -- this IS the real-sleep default behind the SleepFor hook
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+// Never null: "no hook installed" is represented by RealSleep itself.
+std::atomic<SleepFn> g_sleep_fn{&RealSleep};
+
+}  // namespace
+
+SleepFn SetSleepFn(SleepFn fn) {
+  if (fn == nullptr) fn = &RealSleep;
+  return g_sleep_fn.exchange(fn, std::memory_order_acq_rel);
+}
+
+void SleepFor(Micros micros) {
+  g_sleep_fn.load(std::memory_order_acquire)(micros);
+}
+
+}  // namespace firestore

@@ -48,6 +48,19 @@ class ManualClock : public Clock {
   std::atomic<Micros> now_;
 };
 
+// Process-wide sleep hook. Production code that must actually block (today:
+// injected-latency faults with no ManualClock attached) calls SleepFor()
+// instead of std::this_thread::sleep_for, so deterministic tests can
+// intercept the delay. The default implementation really sleeps.
+using SleepFn = void (*)(Micros);
+
+// Replaces the process sleep function; returns the previous one so tests
+// can restore it. Passing nullptr restores the real-sleep default.
+SleepFn SetSleepFn(SleepFn fn);
+
+// Blocks the calling thread for `micros` via the installed hook.
+void SleepFor(Micros micros);
+
 }  // namespace firestore
 
 #endif  // FIRESTORE_COMMON_CLOCK_H_

@@ -63,6 +63,14 @@ std::vector<FaultPointStats> FaultRegistry::KnownPoints() const {
   return out;
 }
 
+std::vector<std::string> FaultRegistry::ListPoints() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) out.push_back(name);
+  return out;
+}
+
 FaultPointStats FaultRegistry::StatsFor(const std::string& name) const {
   MutexLock lock(&mu_);
   auto it = points_.find(name);
@@ -100,7 +108,9 @@ void FaultRegistry::ApplyLatency(Micros latency) {
     clock->AdvanceBy(latency);
     return;
   }
-  std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  // Real sleep goes through the process hook so deterministic tests can
+  // intercept delays even when no ManualClock is attached.
+  SleepFor(latency);
 }
 
 Status FaultRegistry::Evaluate(std::string_view name) {

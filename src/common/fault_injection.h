@@ -132,6 +132,9 @@ class FaultRegistry {
 
   // Every point ever registered or armed, sorted by name.
   std::vector<FaultPointStats> KnownPoints() const;
+  // Just the names of KnownPoints(), sorted — the cheap form for catalog
+  // cross-checks (tests compare this against docs/ROBUSTNESS.md).
+  std::vector<std::string> ListPoints() const;
   FaultPointStats StatsFor(const std::string& name) const;
 
   // Slow paths behind the macros. Evaluate returns the injected Status (or

@@ -145,6 +145,7 @@ class FS_CAPABILITY("mutex") Mutex {
 
  private:
   friend class CondVar;
+  // fslint: allow(raw-sync) -- Mutex is the sanctioned wrapper that owns the raw primitive
   std::mutex mu_;
 };
 
@@ -183,6 +184,7 @@ class FS_CAPABILITY("shared_mutex") SharedMutex {
   void AssertHeld() const FS_ASSERT_CAPABILITY(this) {}
 
  private:
+  // fslint: allow(raw-sync) -- SharedMutex is the sanctioned wrapper that owns the raw primitive
   std::shared_mutex mu_;
 };
 
@@ -267,7 +269,9 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   // Atomically releases *mu, waits, and reacquires *mu before returning.
+  // fslint: allow(locked-suffix) -- wait primitive; takes the caller's mutex as a parameter
   void Wait(Mutex* mu) FS_REQUIRES(mu) {
+    // fslint: allow(raw-sync) -- adopts the wrapper's underlying handle for cv wait
     std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
     cv_.wait(lk);
     lk.release();
@@ -275,8 +279,10 @@ class CondVar {
 
   // Returns false if `deadline` passed before a notification arrived. The
   // mutex is held again either way.
+  // fslint: allow(locked-suffix) -- wait primitive; takes the caller's mutex as a parameter
   bool WaitUntil(Mutex* mu, std::chrono::steady_clock::time_point deadline)
       FS_REQUIRES(mu) {
+    // fslint: allow(raw-sync) -- adopts the wrapper's underlying handle for cv wait
     std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
     std::cv_status status = cv_.wait_until(lk, deadline);
     lk.release();
@@ -287,6 +293,7 @@ class CondVar {
   void NotifyAll() { cv_.notify_all(); }
 
  private:
+  // fslint: allow(raw-sync) -- CondVar is the sanctioned wrapper that owns the raw primitive
   std::condition_variable cv_;
 };
 

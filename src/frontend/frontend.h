@@ -168,12 +168,12 @@ class Frontend {
   QuerySnapshot BuildSnapshotLocked(Target& target, spanner::Timestamp t)
       FS_REQUIRES(mu_);
 
-  const Clock* clock_;
-  backend::ReadService* reader_;
+  const Clock* const clock_;
+  backend::ReadService* const reader_;
   rtcache::QueryMatcher* matcher_;
   const rtcache::RangeOwnership* ranges_;
-  TenantResolver tenants_;
-  Options options_;
+  const TenantResolver tenants_;
+  const Options options_;
 
   mutable Mutex mu_;
   Rng retry_rng_ FS_GUARDED_BY(mu_){options_.retry_seed};

@@ -113,10 +113,10 @@ class Changelog : public backend::RealTimeParticipant {
   void MarkOutOfSyncLocked(RangeId range) FS_REQUIRES(mu_);
   void DrainNotifications() FS_EXCLUDES(mu_);
 
-  const Clock* clock_;
+  const Clock* const clock_;
   const RangeOwnership* ranges_;
   QueryMatcher* matcher_;
-  Options options_;
+  const Options options_;
 
   mutable Mutex mu_;
   uint64_t next_token_ FS_GUARDED_BY(mu_) = 1;

@@ -46,7 +46,7 @@ Status DatastoreClient::Put(const Entity& entity) {
 }
 
 Status DatastoreClient::PutBatch(const std::vector<Entity>& entities) {
-  RETURN_IF_ERROR(FS_FAULT_POINT("datastore.rpc"));
+  RETURN_IF_ERROR(FS_FAULT_POINT("datastore.put_batch"));
   std::vector<Mutation> mutations;
   mutations.reserve(entities.size());
   for (const Entity& entity : entities) {
@@ -58,7 +58,7 @@ Status DatastoreClient::PutBatch(const std::vector<Entity>& entities) {
 
 StatusOr<std::optional<Entity>> DatastoreClient::Lookup(
     const Key& key, ReadConsistency consistency) {
-  RETURN_IF_ERROR(FS_FAULT_POINT("datastore.rpc"));
+  RETURN_IF_ERROR(FS_FAULT_POINT("datastore.lookup"));
   ASSIGN_OR_RETURN(std::optional<Document> doc,
                    service_->Get(database_id_, key.ToResourcePath(),
                                  ReadTimestampFor(consistency)));
@@ -70,7 +70,7 @@ StatusOr<std::optional<Entity>> DatastoreClient::Lookup(
 }
 
 Status DatastoreClient::Delete(const Key& key) {
-  RETURN_IF_ERROR(FS_FAULT_POINT("datastore.rpc"));
+  RETURN_IF_ERROR(FS_FAULT_POINT("datastore.delete"));
   return service_
       ->Commit(database_id_, {Mutation::Delete(key.ToResourcePath())})
       .status();
@@ -78,7 +78,7 @@ Status DatastoreClient::Delete(const Key& key) {
 
 StatusOr<std::vector<Entity>> DatastoreClient::RunQuery(
     const query::Query& q, ReadConsistency consistency) {
-  RETURN_IF_ERROR(FS_FAULT_POINT("datastore.rpc"));
+  RETURN_IF_ERROR(FS_FAULT_POINT("datastore.run_query"));
   ASSIGN_OR_RETURN(backend::RunQueryResult result,
                    service_->RunQuery(database_id_, q,
                                       ReadTimestampFor(consistency)));

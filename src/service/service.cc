@@ -217,7 +217,7 @@ StatusOr<backend::RunAggregateResult> FirestoreService::RunSumQuery(
 StatusOr<CommitResponse> FirestoreService::RunTransaction(
     const std::string& database_id,
     const backend::Committer::TransactionBody& body) {
-  RETURN_IF_ERROR(FS_FAULT_POINT("service.commit"));
+  RETURN_IF_ERROR(FS_FAULT_POINT("service.run_transaction"));
   ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
                    GetTenant(database_id));
   return committer_.RunTransaction(database_id, tenant->catalog, body,
@@ -227,7 +227,7 @@ StatusOr<CommitResponse> FirestoreService::RunTransaction(
 StatusOr<CommitResponse> FirestoreService::CommitAsUser(
     const std::string& database_id, const rules::AuthContext& auth,
     const std::vector<Mutation>& mutations) {
-  RETURN_IF_ERROR(FS_FAULT_POINT("service.commit"));
+  RETURN_IF_ERROR(FS_FAULT_POINT("service.commit_as_user"));
   ASSIGN_OR_RETURN(std::shared_ptr<Tenant> tenant,
                    GetTenant(database_id));
   if (tenant->rules == nullptr) {

@@ -146,12 +146,15 @@ class FirestoreService {
   // immediately; in-flight requests finish against the doomed tenant).
   StatusOr<std::shared_ptr<Tenant>> GetTenant(const std::string& database_id);
 
-  const Clock* clock_;
-  Options options_;
+  const Clock* const clock_;
+  const Options options_;
   spanner::Database spanner_;
   backend::BillingLedger billing_;
+  // fslint: allow(guarded-member) -- stateless facade over the synchronized Database; wired once in the constructor
   backend::Committer committer_;
+  // fslint: allow(guarded-member) -- stateless facade over the synchronized Database; wired once in the constructor
   backend::ReadService reader_;
+  // fslint: allow(guarded-member) -- stateless facade over the synchronized Database; wired once in the constructor
   index::IndexBackfillService backfill_;
   rtcache::RangeOwnership ranges_;
   rtcache::QueryMatcher matcher_;

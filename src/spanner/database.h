@@ -150,8 +150,8 @@ class Database {
     return lock_timeout_ms_.load(std::memory_order_relaxed);
   }
 
-  const Clock* clock_;
-  TrueTime truetime_;
+  const Clock* const clock_;
+  const TrueTime truetime_;
   TimestampOracle oracle_;
   LockManager lock_manager_;
   MessageQueue queue_;

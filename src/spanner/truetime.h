@@ -64,7 +64,7 @@ class TimestampOracle {
   Timestamp StrongReadTimestamp() const;
 
  private:
-  const Clock* clock_;
+  const Clock* const clock_;
   mutable Mutex mu_;
   mutable Timestamp last_ FS_GUARDED_BY(mu_) = 0;
 };

@@ -189,6 +189,8 @@ std::vector<FaultChoice> FaultMenu() {
       {"committer.commit", FaultAction::Fail(AbortedError("chaos")), 0.2},
       {"committer.outcome_unknown", FaultAction::Drop(), 0.1},
       {"service.commit", FaultAction::Fail(UnavailableError("chaos")), 0.2},
+      {"service.run_transaction",
+       FaultAction::Fail(UnavailableError("chaos")), 0.2},
       {"service.query", FaultAction::Fail(UnavailableError("chaos")), 0.15},
       {"frontend.initial_snapshot",
        FaultAction::Fail(UnavailableError("chaos")), 0.3},

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@ class FaultInjectionTest : public ::testing::Test {
   void TearDown() override {
     FaultRegistry::Global().DisarmAll();
     FaultRegistry::Global().SetLatencyClock(nullptr);
+    SetSleepFn(nullptr);  // restore the real-sleep default
   }
 };
 
@@ -95,6 +98,49 @@ TEST_F(FaultInjectionTest, LatencyActionAdvancesInjectedClock) {
   EXPECT_EQ(clock.NowMicros(), 1'250);
   EXPECT_TRUE(FS_FAULT_TRIGGERED("test.latency"));
   EXPECT_EQ(clock.NowMicros(), 1'500);
+}
+
+// With no ManualClock attached, latency actions block for real — but the
+// block is routed through the process-wide SleepFor hook (common/clock.h),
+// so deterministic tests can intercept the delay instead of waiting it out.
+std::atomic<Micros> g_slept{0};
+void RecordSleep(Micros us) { g_slept.fetch_add(us); }
+
+TEST_F(FaultInjectionTest, LatencyWithoutClockRoutesThroughSleepHook) {
+  g_slept.store(0);
+  SleepFn previous = SetSleepFn(&RecordSleep);
+  FaultConfig config;
+  config.action = FaultAction::Latency(300);
+  FaultRegistry::Global().Arm("test.latency.sleep", config);
+  EXPECT_TRUE(Hit("test.latency.sleep").ok());
+  EXPECT_EQ(g_slept.load(), 300);
+  EXPECT_TRUE(FS_FAULT_TRIGGERED("test.latency.sleep"));
+  EXPECT_EQ(g_slept.load(), 600);
+  // An injected clock takes precedence over the hook again.
+  ManualClock clock(0);
+  FaultRegistry::Global().SetLatencyClock(&clock);
+  EXPECT_TRUE(Hit("test.latency.sleep").ok());
+  EXPECT_EQ(clock.NowMicros(), 300);
+  EXPECT_EQ(g_slept.load(), 600);
+  // SetSleepFn returns the hook it replaced so callers can restore it.
+  EXPECT_EQ(SetSleepFn(previous), &RecordSleep);
+}
+
+TEST_F(FaultInjectionTest, ListPointsReportsRegisteredAndArmedNames) {
+  auto contains = [](const std::vector<std::string>& names,
+                     const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  // Executing a macro site registers the point even while disarmed.
+  EXPECT_TRUE(FS_FAULT_POINT("test.list.registered").ok());
+  EXPECT_TRUE(
+      contains(FaultRegistry::Global().ListPoints(), "test.list.registered"));
+  // Arming registers a never-executed point; disarming does not unlist it.
+  FaultRegistry::Global().Arm("test.list.armed", FaultConfig());
+  FaultRegistry::Global().DisarmAll();
+  std::vector<std::string> names = FaultRegistry::Global().ListPoints();
+  EXPECT_TRUE(contains(names, "test.list.armed"));
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
 TEST_F(FaultInjectionTest, DropActionTriggersBoolSitesOnly) {

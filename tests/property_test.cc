@@ -306,8 +306,8 @@ TEST(ServiceConcurrencyTest, ParallelTenantsWithListenersConverge) {
   constexpr int kWritesPerTenant = 80;
   std::vector<std::string> dbs;
   struct Listened {
-    std::mutex mu;
-    std::map<std::string, Document> docs;
+    Mutex mu;
+    std::map<std::string, Document> docs FS_GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<Listened>> views;
   for (int i = 0; i < kTenants; ++i) {
@@ -319,7 +319,7 @@ TEST(ServiceConcurrencyTest, ParallelTenantsWithListenersConverge) {
     auto target = service.frontend().Listen(
         conn, Query(model::ResourcePath(), "items"),
         [view](const frontend::QuerySnapshot& s) {
-          std::lock_guard<std::mutex> lock(view->mu);
+          MutexLock lock(&view->mu);
           if (s.is_reset) view->docs.clear();
           for (const auto& change : s.changes) {
             if (change.kind == frontend::ChangeKind::kRemoved) {
@@ -364,7 +364,7 @@ TEST(ServiceConcurrencyTest, ParallelTenantsWithListenersConverge) {
     auto server =
         service.RunQuery(dbs[t], Query(model::ResourcePath(), "items"));
     ASSERT_TRUE(server.ok());
-    std::lock_guard<std::mutex> lock(views[t]->mu);
+    MutexLock lock(&views[t]->mu);
     ASSERT_EQ(views[t]->docs.size(), server->result.documents.size())
         << "tenant " << t;
     for (const Document& doc : server->result.documents) {

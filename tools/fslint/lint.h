@@ -1,0 +1,78 @@
+// fslint rule engine.
+//
+// fslint enforces the project-specific invariants that generic tooling
+// cannot express (and that must hold for the chaos suite's determinism and
+// the thread-safety annotations to mean anything). It is dependency-free
+// C++20 — no libclang — so it builds and runs under plain GCC and the gate
+// never SKIPs. Rules and their scopes are catalogued in
+// docs/STATIC_ANALYSIS.md; findings are suppressed per line with
+//
+//   // fslint: allow(<rule>) -- <justification>
+//
+// on the finding's line or the line directly above it. A suppression
+// without a justification is itself a finding (`suppression` rule).
+
+#ifndef FSLINT_LINT_H_
+#define FSLINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "source_file.h"
+
+namespace fslint {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+// One catalogued fault-point name from docs/ROBUSTNESS.md, with the line of
+// its table row (for diagnostics pointing into the catalog).
+struct CatalogEntry {
+  std::string name;
+  int line = 0;
+};
+
+struct Options {
+  // Parsed "Point catalog" from docs/ROBUSTNESS.md. When empty the
+  // fault-point-registry rule only checks in-code uniqueness.
+  std::vector<CatalogEntry> fault_catalog;
+  // Path the catalog came from, used for catalog-side diagnostics.
+  std::string catalog_path = "docs/ROBUSTNESS.md";
+};
+
+struct FileInput {
+  std::string path;     // repo-relative, '/'-separated
+  std::string content;  // full file text
+};
+
+// Rule names, in the order they are documented.
+inline constexpr char kRuleRawSync[] = "raw-sync";
+inline constexpr char kRuleLockedSuffix[] = "locked-suffix";
+inline constexpr char kRuleGuardedMember[] = "guarded-member";
+inline constexpr char kRuleDeterminism[] = "determinism";
+inline constexpr char kRuleFaultPointRegistry[] = "fault-point-registry";
+inline constexpr char kRuleHeaderHygiene[] = "header-hygiene";
+inline constexpr char kRuleSuppression[] = "suppression";
+
+// Lints `files` as one program: per-file rules plus the cross-file
+// fault-point registry check. Returned findings are sorted by (path, line)
+// and already filtered through suppressions; unjustified suppressions
+// surface as `suppression` findings.
+std::vector<Finding> Lint(const std::vector<FileInput>& files,
+                          const Options& options);
+
+// Extracts the fault-point name literals passed to FS_FAULT_POINT /
+// FS_FAULT_TRIGGERED in `file` (definition sites only, not Arm() calls).
+std::vector<StringLiteral> ExtractFaultPoints(const SourceFile& file);
+
+// Parses the "### Point catalog" markdown table out of docs/ROBUSTNESS.md
+// text. Rows look like `| \`name\` | layer | what |`.
+std::vector<CatalogEntry> ParseFaultCatalog(std::string_view markdown);
+
+}  // namespace fslint
+
+#endif  // FSLINT_LINT_H_

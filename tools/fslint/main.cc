@@ -1,0 +1,132 @@
+// fslint CLI. Lints the repository's C++ sources against the project
+// invariants (docs/STATIC_ANALYSIS.md, "fslint rule catalog").
+//
+//   fslint --root <repo-root> [--json] [file...]
+//
+// With no explicit file list, scans src/, tests/, bench/, examples/, and
+// tools/ (excluding tools/fslint/testdata, which holds deliberate
+// violations for fslint's own tests). Exit status 1 iff there are
+// unsuppressed findings. `--json` emits machine-readable diagnostics.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fslint --root <repo-root> [--json] [file...]\n";
+      return 0;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  const fs::path root_path(root);
+  std::vector<std::string> rel_paths;
+  if (!explicit_files.empty()) {
+    rel_paths = explicit_files;
+  } else {
+    for (const char* dir : {"src", "tests", "bench", "examples", "tools"}) {
+      fs::path base = root_path / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file()) continue;
+        fs::path rel = fs::relative(entry.path(), root_path);
+        std::string rel_str = rel.generic_string();
+        if (rel_str.rfind("tools/fslint/testdata/", 0) == 0) continue;
+        std::string ext = rel.extension().string();
+        if (ext != ".h" && ext != ".cc") continue;
+        rel_paths.push_back(std::move(rel_str));
+      }
+    }
+    std::sort(rel_paths.begin(), rel_paths.end());
+  }
+
+  std::vector<fslint::FileInput> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    std::string content;
+    if (!ReadFile(root_path / rel, &content)) {
+      std::cerr << "fslint: cannot read " << rel << "\n";
+      return 2;
+    }
+    files.push_back({rel, std::move(content)});
+  }
+
+  fslint::Options options;
+  std::string catalog_text;
+  if (ReadFile(root_path / "docs" / "ROBUSTNESS.md", &catalog_text)) {
+    options.fault_catalog = fslint::ParseFaultCatalog(catalog_text);
+  } else {
+    std::cerr << "fslint: warning: docs/ROBUSTNESS.md not found; "
+                 "fault-point catalog cross-check limited to uniqueness\n";
+  }
+
+  std::vector<fslint::Finding> findings = fslint::Lint(files, options);
+
+  if (json) {
+    std::cout << "[";
+    for (size_t i = 0; i < findings.size(); ++i) {
+      const fslint::Finding& f = findings[i];
+      std::cout << (i == 0 ? "" : ",") << "\n  {\"rule\": \""
+                << JsonEscape(f.rule) << "\", \"file\": \""
+                << JsonEscape(f.path) << "\", \"line\": " << f.line
+                << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]" : "\n]") << "\n";
+  } else {
+    for (const fslint::Finding& f : findings) {
+      std::cout << f.path << ":" << f.line << ": error: [" << f.rule << "] "
+                << f.message << "\n";
+    }
+  }
+
+  std::cerr << "fslint: " << files.size() << " file(s), " << findings.size()
+            << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}

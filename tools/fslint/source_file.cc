@@ -1,0 +1,261 @@
+#include "source_file.h"
+
+#include <cctype>
+
+namespace fslint {
+namespace {
+
+// Parses `// fslint: allow(rule-a, rule-b) -- justification` out of a line
+// comment body. Returns true if the comment is an fslint directive at all.
+bool ParseSuppressionComment(std::string_view comment, int line,
+                             std::vector<Suppression>* out) {
+  size_t marker = comment.find("fslint:");
+  if (marker == std::string_view::npos) return false;
+  size_t allow = comment.find("allow(", marker);
+  if (allow == std::string_view::npos) return false;
+  size_t open = allow + 5;  // index of '('
+  size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return false;
+
+  bool justified = false;
+  size_t dashes = comment.find("--", close);
+  if (dashes != std::string_view::npos) {
+    std::string_view why = comment.substr(dashes + 2);
+    for (char c : why) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        justified = true;
+        break;
+      }
+    }
+  }
+
+  std::string_view list = comment.substr(open + 1, close - open - 1);
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string_view::npos) comma = list.size();
+    std::string_view item = list.substr(start, comma - start);
+    while (!item.empty() &&
+           std::isspace(static_cast<unsigned char>(item.front()))) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() &&
+           std::isspace(static_cast<unsigned char>(item.back()))) {
+      item.remove_suffix(1);
+    }
+    if (!item.empty()) {
+      out->push_back(Suppression{std::string(item), justified, line});
+    }
+    start = comma + 1;
+  }
+  return true;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+SourceFile Lex(std::string path, std::string_view content) {
+  SourceFile file;
+  file.path = std::move(path);
+
+  // Split into raw lines first (tolerate missing trailing newline).
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t nl = content.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      if (pos < content.size()) {
+        file.raw_lines.emplace_back(content.substr(pos));
+      }
+      break;
+    }
+    std::string line(content.substr(pos, nl - pos));
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    file.raw_lines.push_back(std::move(line));
+    pos = nl + 1;
+  }
+
+  file.code_lines.assign(file.raw_lines.size(), std::string());
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  State state = State::kCode;
+  bool in_directive = false;       // inside a preprocessor directive
+  bool line_has_token = false;     // saw non-ws code on this line yet
+  std::string raw_delim;           // raw-string delimiter, for )delim"
+  std::string comment_text;       // current line-comment body
+  int comment_line = 0;
+  StringLiteral current_string;
+
+  for (size_t li = 0; li < file.raw_lines.size(); ++li) {
+    const std::string& raw = file.raw_lines[li];
+    std::string& code = file.code_lines[li];
+    code.assign(raw.size(), ' ');
+    const int line_no = static_cast<int>(li) + 1;
+    if (state != State::kBlockComment && state != State::kRawString) {
+      line_has_token = in_directive;  // directives continue via backslash
+    }
+
+    for (size_t i = 0; i < raw.size(); ++i) {
+      char c = raw[i];
+      char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+      switch (state) {
+        case State::kCode: {
+          if (!line_has_token && c == '#') {
+            in_directive = true;
+          }
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            comment_text.assign(raw, i + 2, raw.size() - i - 2);
+            comment_line = line_no;
+            i = raw.size();  // rest of line is comment
+            break;
+          }
+          if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+            break;
+          }
+          if (c == 'R' && next == '"' &&
+              (i == 0 || !IsIdentChar(raw[i - 1]))) {
+            size_t open = raw.find('(', i + 2);
+            if (open != std::string::npos) {
+              raw_delim = ")" + raw.substr(i + 2, open - i - 2) + "\"";
+              current_string = {line_no, static_cast<int>(i), ""};
+              state = State::kRawString;
+              i = open;  // consume through '('
+              if (!std::isspace(static_cast<unsigned char>(c))) {
+                line_has_token = true;
+              }
+              break;
+            }
+          }
+          if (c == '"') {
+            state = State::kString;
+            current_string = {line_no, static_cast<int>(i), ""};
+            line_has_token = true;
+            break;
+          }
+          if (c == '\'') {
+            // Char literal (digit separators '\'' in numbers are rare in
+            // this tree; treat every quote after an identifier char as a
+            // separator and skip it).
+            if (i > 0 && IsIdentChar(raw[i - 1])) {
+              code[i] = ' ';
+              break;
+            }
+            state = State::kChar;
+            line_has_token = true;
+            break;
+          }
+          if (!in_directive) code[i] = c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_token = true;
+          }
+          break;
+        }
+        case State::kLineComment:
+          break;  // unreachable: handled by the i = raw.size() above
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            if (i + 1 < raw.size()) {
+              current_string.value += next;
+              ++i;
+            }
+          } else if (c == '"') {
+            if (!in_directive) file.strings.push_back(current_string);
+            state = State::kCode;
+          } else {
+            current_string.value += c;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString:
+          if (raw.compare(i, raw_delim.size(), raw_delim) == 0) {
+            if (!in_directive) file.strings.push_back(current_string);
+            i += raw_delim.size() - 1;
+            state = State::kCode;
+          } else {
+            current_string.value += c;
+          }
+          break;
+      }
+    }
+
+    if (state == State::kLineComment) {
+      std::vector<Suppression> sups;
+      if (ParseSuppressionComment(comment_text, comment_line, &sups)) {
+        auto& slot = file.suppressions[comment_line];
+        slot.insert(slot.end(), sups.begin(), sups.end());
+      }
+      state = State::kCode;
+    }
+    if (state == State::kString || state == State::kChar) {
+      state = State::kCode;  // unterminated literal: recover at EOL
+    }
+    if (in_directive) {
+      if (raw.empty() || raw.back() != '\\') in_directive = false;
+    } else if (state == State::kRawString) {
+      current_string.value += '\n';
+    }
+  }
+  return file;
+}
+
+std::vector<Token> Tokenize(const SourceFile& file) {
+  std::vector<Token> tokens;
+  for (size_t li = 0; li < file.code_lines.size(); ++li) {
+    const std::string& line = file.code_lines[li];
+    const int line_no = static_cast<int>(li) + 1;
+    size_t i = 0;
+    while (i < line.size()) {
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (IsIdentChar(c)) {
+        size_t start = i;
+        while (i < line.size() && IsIdentChar(line[i])) ++i;
+        tokens.push_back({line.substr(start, i - start), line_no});
+        continue;
+      }
+      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        tokens.push_back({"::", line_no});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        tokens.push_back({"->", line_no});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({std::string(1, c), line_no});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace fslint

@@ -1,0 +1,73 @@
+// fslint's view of one C++ source file.
+//
+// The lexer is deliberately not a C++ parser: it strips comments and string
+// literals (tracking line numbers), marks preprocessor directives, records
+// every string literal with its position, and collects the per-line
+// suppression comments (`// fslint: allow(<rule>) -- <justification>`).
+// Rules then work on the comment-free "code" view, so a banned token inside
+// a comment or a string never fires, and a rule pattern spelled inside
+// fslint's own string literals never lints itself.
+
+#ifndef FSLINT_SOURCE_FILE_H_
+#define FSLINT_SOURCE_FILE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fslint {
+
+// A string literal in non-directive code. `line` is 1-based; `col` is the
+// 0-based offset of the opening quote in that line, which lets rules check
+// what code immediately precedes the literal (e.g. `FS_FAULT_POINT(`).
+struct StringLiteral {
+  int line = 0;
+  int col = 0;
+  std::string value;
+};
+
+// One `allow(<rule>)` clause from a suppression comment.
+struct Suppression {
+  std::string rule;
+  bool justified = false;  // had a non-empty `-- <why>` trailer
+  int line = 0;
+};
+
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated
+
+  // Raw and comment/string/preprocessor-stripped views; same line count,
+  // stripped regions replaced by spaces so columns stay aligned.
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+
+  std::vector<StringLiteral> strings;
+
+  // line -> suppressions declared on that line.
+  std::map<int, std::vector<Suppression>> suppressions;
+
+  bool is_header() const {
+    return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+  }
+  bool InDir(std::string_view dir) const {
+    return path.size() > dir.size() && path.compare(0, dir.size(), dir) == 0 &&
+           path[dir.size()] == '/';
+  }
+};
+
+// Lexes `content` (the full text of the file at `path`).
+SourceFile Lex(std::string path, std::string_view content);
+
+// A token from the code view: an identifier/number, or a punctuator
+// (multi-char `::` and `->` are single tokens; everything else one char).
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+std::vector<Token> Tokenize(const SourceFile& file);
+
+}  // namespace fslint
+
+#endif  // FSLINT_SOURCE_FILE_H_

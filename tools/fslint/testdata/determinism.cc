@@ -1,0 +1,23 @@
+// Fixture for the determinism rule (linted as src/fixture/determinism.cc).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+namespace firestore {
+
+int Entropy() {
+  std::random_device rd;
+  int r = rand();
+  long t = ::time(nullptr);
+  auto wall = std::chrono::system_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  (void)wall;
+  return static_cast<int>(rd()) + r + static_cast<int>(t);
+}
+
+// fslint: allow(determinism) -- fixture: real sleep behind a test hook
+void Nap() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
+
+}  // namespace firestore

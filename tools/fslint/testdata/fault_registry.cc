@@ -1,0 +1,15 @@
+// Fixture for the fault-point-registry rule (linted as
+// src/fixture/fault_registry.cc, catalogued by fault_catalog.md).
+#include "common/fault_injection.h"
+
+namespace firestore {
+
+Status First() { return FS_FAULT_POINT("fixture.alpha"); }
+
+Status Second() { return FS_FAULT_POINT("fixture.duplicate"); }
+
+Status Third() { return FS_FAULT_POINT("fixture.duplicate"); }
+
+bool Fourth() { return FS_FAULT_TRIGGERED("fixture.uncatalogued"); }
+
+}  // namespace firestore

@@ -1,0 +1,34 @@
+// Fixture for the guarded-member rule (linted as src/fixture/guarded_member.h).
+#ifndef FSLINT_FIXTURE_GUARDED_MEMBER_H_
+#define FSLINT_FIXTURE_GUARDED_MEMBER_H_
+
+#include <atomic>
+#include <map>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+namespace firestore {
+
+class Cache {
+ public:
+  void Put(const std::string& key, int value);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, int> entries_ FS_GUARDED_BY(mu_);
+  std::map<std::string, int> stale_;
+  std::atomic<int> hits_{0};
+  const int capacity_ = 64;
+  // fslint: allow(guarded-member) -- fixture: written once before threads start
+  int warmup_ = 0;
+};
+
+// No mutex member: nothing to guard, nothing reported.
+struct Plain {
+  int counter = 0;
+};
+
+}  // namespace firestore
+
+#endif  // FSLINT_FIXTURE_GUARDED_MEMBER_H_

@@ -1,0 +1,20 @@
+// Fixture for the header-hygiene rule (linted as src/fixture/header_hygiene.h).
+#ifndef FSLINT_FIXTURE_HEADER_HYGIENE_H_
+#define FSLINT_FIXTURE_HEADER_HYGIENE_H_
+
+#include <string>
+
+using namespace std;
+
+namespace firestore {
+using namespace std::chrono;
+
+inline string Join(const string& a, const string& b) { return a + b; }
+
+inline void Escape() {
+  using namespace std;  // function-local: allowed
+}
+
+}  // namespace firestore
+
+#endif  // FSLINT_FIXTURE_HEADER_HYGIENE_H_

@@ -1,0 +1,28 @@
+// Fixture for the locked-suffix rule (linted as src/fixture/locked_suffix.h).
+#ifndef FSLINT_FIXTURE_LOCKED_SUFFIX_H_
+#define FSLINT_FIXTURE_LOCKED_SUFFIX_H_
+
+#include "common/thread_annotations.h"
+
+namespace firestore {
+
+class Ledger {
+ public:
+  void Post();
+
+ private:
+  void ApplyLocked(int amount);
+  int BalanceLocked() const;
+  void Refresh() FS_REQUIRES(mu_);
+  void CompactLocked() FS_REQUIRES(mu_);
+  int ReadLocked() const FS_REQUIRES_SHARED(mu_);
+  // fslint: allow(locked-suffix) -- fixture: wait primitive takes the caller's mutex
+  void AwaitLocked(int deadline);
+
+  mutable Mutex mu_;
+  int balance_ FS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace firestore
+
+#endif  // FSLINT_FIXTURE_LOCKED_SUFFIX_H_

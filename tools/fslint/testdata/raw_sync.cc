@@ -1,0 +1,20 @@
+// Fixture for the raw-sync rule (linted as if at src/fixture/raw_sync.cc).
+#include <mutex>
+
+namespace firestore {
+
+std::mutex g_bad_mutex;
+
+void Sample() {
+  std::lock_guard<std::mutex> lock(g_bad_mutex);
+}
+
+// fslint: allow(raw-sync) -- fixture: sanctioned wrapper internals
+std::mutex g_allowed_above;
+
+std::shared_mutex g_allowed_inline;  // fslint: allow(raw-sync) -- fixture: same-line form
+
+// fslint: allow(raw-sync)
+std::mutex g_unjustified;
+
+}  // namespace firestore

@@ -1,63 +1,115 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy) over every translation unit in src/
-# and fails on any diagnostic. Usage:
+# Static-analysis gate, in two stages:
 #
+#   1. fslint (tools/fslint) — the project-invariant linter. Dependency-free
+#      C++20, so it builds and runs under plain GCC and NEVER skips.
+#   2. clang-tidy (config: .clang-tidy) over every translation unit in src/.
+#      On machines without clang tooling this stage reports SKIPPED and the
+#      script's verdict rests on fslint alone; set FS_REQUIRE_TOOLS=1 (as CI's
+#      tidy job does) to make a missing clang-tidy a hard failure.
+#
+# Usage:
 #   tools/run_static_analysis.sh [build-dir]
 #
-# The build dir must contain compile_commands.json; when omitted, the script
-# configures the `tidy` CMake preset (which also turns on -Wthread-safety via
-# the clang toolchain). On machines without clang-tidy the script reports
-# SKIPPED and exits 0 so non-clang environments keep working; set
-# FS_REQUIRE_TOOLS=1 (as CI does) to make a missing tool a hard failure.
+# The build dir must contain compile_commands.json for the clang-tidy stage;
+# when omitted, the script configures the `tidy` CMake preset (which also
+# turns on -Wthread-safety via the clang toolchain).
 
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
+# --- Stage 1: fslint (always runs) -----------------------------------------
+
+fslint_bin=""
+for candidate in build/tools/fslint/fslint build-tidy/tools/fslint/fslint; do
+  if [[ -x "$candidate" ]]; then
+    fslint_bin="$candidate"
+    break
+  fi
+done
+if [[ -z "$fslint_bin" ]]; then
+  # No configured build tree: compile it directly; it is four files of
+  # plain C++20 with no dependencies.
+  cxx="${CXX:-g++}"
+  command -v "$cxx" >/dev/null 2>&1 || { echo "ERROR: no C++ compiler" >&2; exit 1; }
+  fslint_bin="$(mktemp -d)/fslint"
+  "$cxx" -std=c++20 -O1 -o "$fslint_bin" tools/fslint/*.cc || exit 1
+fi
+
+if "$fslint_bin" --root "$repo_root"; then
+  fslint_verdict="OK"
+else
+  fslint_verdict="FAIL"
+fi
+
+# --- Stage 2: clang-tidy (skips without clang tooling) ----------------------
+
+tidy_verdict="SKIPPED"
+
 missing_tool() {
   if [[ "${FS_REQUIRE_TOOLS:-0}" == "1" ]]; then
     echo "ERROR: $1 not found and FS_REQUIRE_TOOLS=1" >&2
     exit 1
   fi
-  echo "SKIPPED: $1 not found; install clang tooling to run static analysis" >&2
-  exit 0
+  echo "SKIPPED: $1 not found; install clang tooling for the clang-tidy stage" >&2
 }
 
-tidy_bin="${CLANG_TIDY:-clang-tidy}"
-command -v "$tidy_bin" >/dev/null 2>&1 || missing_tool "$tidy_bin"
-
-build_dir="${1:-}"
-if [[ -z "$build_dir" ]]; then
-  build_dir="build-tidy"
-  if [[ ! -f "$build_dir/compile_commands.json" ]]; then
-    command -v clang++ >/dev/null 2>&1 || missing_tool clang++
-    cmake --preset tidy >/dev/null || exit 1
+run_clang_tidy() {
+  tidy_bin="${CLANG_TIDY:-clang-tidy}"
+  if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+    missing_tool "$tidy_bin"
+    return 0
   fi
-fi
 
-if [[ ! -f "$build_dir/compile_commands.json" ]]; then
-  echo "ERROR: $build_dir/compile_commands.json not found" >&2
+  build_dir="${1:-}"
+  if [[ -z "$build_dir" ]]; then
+    build_dir="build-tidy"
+    if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+      if ! command -v clang++ >/dev/null 2>&1; then
+        missing_tool clang++
+        return 0
+      fi
+      cmake --preset tidy >/dev/null || { tidy_verdict="FAIL"; return 0; }
+    fi
+  fi
+
+  if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "ERROR: $build_dir/compile_commands.json not found" >&2
+    tidy_verdict="FAIL"
+    return 0
+  fi
+
+  mapfile -t sources < <(find src -name '*.cc' | sort)
+  echo "clang-tidy: ${#sources[@]} files, build dir $build_dir"
+
+  # run-clang-tidy parallelizes when available; otherwise loop.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+        "${sources[@]/#/$repo_root/}"
+    status=$?
+  else
+    status=0
+    for f in "${sources[@]}"; do
+      "$tidy_bin" -p "$build_dir" --quiet "$f" || status=1
+    done
+  fi
+
+  if [[ $status -ne 0 ]]; then
+    echo "FAIL: clang-tidy reported diagnostics (WarningsAsErrors: '*')" >&2
+    tidy_verdict="FAIL"
+  else
+    tidy_verdict="OK"
+  fi
+}
+
+run_clang_tidy "${1:-}"
+
+# --- Combined verdict -------------------------------------------------------
+
+echo "static-analysis: fslint=$fslint_verdict clang-tidy=$tidy_verdict"
+if [[ "$fslint_verdict" != "OK" || "$tidy_verdict" == "FAIL" ]]; then
   exit 1
 fi
-
-mapfile -t sources < <(find src -name '*.cc' | sort)
-echo "clang-tidy: ${#sources[@]} files, build dir $build_dir"
-
-# run-clang-tidy parallelizes when available; otherwise loop.
-if command -v run-clang-tidy >/dev/null 2>&1; then
-  run-clang-tidy -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
-      "${sources[@]/#/$repo_root/}"
-  status=$?
-else
-  status=0
-  for f in "${sources[@]}"; do
-    "$tidy_bin" -p "$build_dir" --quiet "$f" || status=1
-  done
-fi
-
-if [[ $status -ne 0 ]]; then
-  echo "FAIL: clang-tidy reported diagnostics (WarningsAsErrors: '*')" >&2
-  exit 1
-fi
-echo "OK: clang-tidy clean"
+exit 0
