@@ -175,7 +175,15 @@ class Frontend {
   const TenantResolver tenants_;
   const Options options_;
 
-  mutable Mutex mu_;
+  // Held across snapshot construction and target resets, which fan out into
+  // the cache, index, storage, and billing layers; every mutex reachable
+  // from under it is declared here (string targets: the members are private
+  // to their classes). spanner::TimestampOracle::mu_ is covered transitively
+  // via Database::data_mu_'s own declaration.
+  mutable Mutex mu_ FS_ACQUIRED_BEFORE(
+      "backend::BillingLedger::mu_", "spanner::Database::data_mu_",
+      "firestore::index::IndexCatalog::mu_", "spanner::LockManager::mu_",
+      "rtcache::QueryMatcher::mu_", "rtcache::RangeOwnership::mu_");
   Rng retry_rng_ FS_GUARDED_BY(mu_){options_.retry_seed};
   uint64_t next_id_ FS_GUARDED_BY(mu_) = 1;
   std::map<ConnectionId, Connection> connections_ FS_GUARDED_BY(mu_);

@@ -118,7 +118,9 @@ class Changelog : public backend::RealTimeParticipant {
   QueryMatcher* matcher_;
   const Options options_;
 
-  mutable Mutex mu_;
+  // Prepare consults range ownership while holding mu_ (string target:
+  // RangeOwnership::mu_ is private).
+  mutable Mutex mu_ FS_ACQUIRED_BEFORE("rtcache::RangeOwnership::mu_");
   uint64_t next_token_ FS_GUARDED_BY(mu_) = 1;
   std::map<uint64_t, PendingPrepare> pending_ FS_GUARDED_BY(mu_);
   std::map<RangeId, RangeState> range_states_ FS_GUARDED_BY(mu_);

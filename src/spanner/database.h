@@ -160,8 +160,10 @@ class Database {
   std::atomic<int64_t> lock_timeout_ms_{2000};
 
   // Guards table structure and row data: commits take it exclusively,
-  // snapshot reads take it shared.
-  mutable SharedMutex data_mu_;
+  // snapshot reads take it shared. Commit allocates its timestamp while
+  // holding it (string target: TimestampOracle::mu_ is private).
+  mutable SharedMutex data_mu_
+      FS_ACQUIRED_BEFORE("spanner::TimestampOracle::mu_");
   std::map<std::string, std::unique_ptr<Table>> tables_
       FS_GUARDED_BY(data_mu_);
 };

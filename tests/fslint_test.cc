@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lock_graph.h"
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -165,6 +167,198 @@ TEST(FslintFaultRegistryTest, CatalogParserReadsTheRealCatalog) {
     EXPECT_FALSE(entry.name.empty());
     EXPECT_GT(entry.line, 0);
   }
+}
+
+TEST(FslintLockCycleTest, FlagsMutualNestingAsCyclePlusUndeclaredEdges) {
+  std::vector<Finding> findings =
+      LintFixture("lock_cycle.cc", "src/fixture/lock_cycle.cc");
+  EXPECT_EQ(Keys(findings),
+            (std::multiset<std::string>{
+                // Forward()'s second acquisition anchors the cycle witness:
+                "lock-cycle src/fixture/lock_cycle.cc:13",
+                // ...and each direction of the nesting is also undeclared:
+                "lock-order-undeclared src/fixture/lock_cycle.cc:13",
+                "lock-order-undeclared src/fixture/lock_cycle.cc:18",
+            }));
+}
+
+TEST(FslintLockOrderTest, FlagsAcquisitionContradictingDeclaredOrder) {
+  std::vector<Finding> findings = LintFixture(
+      "lock_order_contradiction.cc", "src/fixture/lock_order_contradiction.cc");
+  EXPECT_EQ(Keys(findings),
+            (std::multiset<std::string>{
+                // The observed b_ -> a_ edge closes a cycle with the
+                // declared a_ -> b_ edge and contradicts it:
+                "lock-cycle src/fixture/lock_order_contradiction.cc:14",
+                "lock-order-contradiction "
+                "src/fixture/lock_order_contradiction.cc:14",
+                // dangling_'s annotation names no known mutex:
+                "lock-order-contradiction "
+                "src/fixture/lock_order_contradiction.cc:20",
+            }));
+}
+
+TEST(FslintLockOrderTest, FlagsUndeclaredNestingDirectAndThroughCalls) {
+  std::vector<Finding> findings = LintFixture(
+      "lock_order_undeclared.cc", "src/fixture/lock_order_undeclared.cc");
+  EXPECT_EQ(Keys(findings),
+            (std::multiset<std::string>{
+                // Direct nesting in Nest():
+                "lock-order-undeclared src/fixture/lock_order_undeclared.cc:13",
+                // Outer() picks up inner_ inside Leaf(); the finding sits on
+                // the call site. AcquireAudited()'s pair is suppressed.
+                "lock-order-undeclared src/fixture/lock_order_undeclared.cc:33",
+            }));
+  for (const Finding& f : findings) {
+    if (f.line == 33) {
+      EXPECT_NE(f.message.find("calls Caller::Leaf"), std::string::npos)
+          << f.message;
+    }
+  }
+}
+
+TEST(FslintLockOrderTest, LockGraphOnlyCoversSrc) {
+  // The same mutual-nesting content outside src/ contributes no symbols.
+  std::vector<Finding> findings =
+      LintFixture("lock_cycle.cc", "tools/fixture/lock_cycle.cc");
+  EXPECT_EQ(Keys(findings), std::multiset<std::string>{});
+}
+
+// ---------------------------------------------------------------------------
+// Layering.
+// ---------------------------------------------------------------------------
+
+LayeringConfig RealLayeringConfig(std::vector<Finding>* config_findings) {
+  return ParseLayeringConfig(
+      "tools/fslint/layering.toml",
+      ReadFile(std::filesystem::path(FS_SOURCE_DIR) / "tools" / "fslint" /
+               "layering.toml"),
+      config_findings);
+}
+
+TEST(FslintLayeringTest, FlagsIncludesClimbingTheModuleDag) {
+  std::vector<Finding> config_findings;
+  Options options;
+  options.layering = RealLayeringConfig(&config_findings);
+  EXPECT_EQ(Keys(config_findings), std::multiset<std::string>{});
+
+  std::vector<Finding> findings = LintFixture(
+      "layering_violation.cc", "src/spanner/layering_violation.cc", options);
+  EXPECT_EQ(Keys(findings),
+            (std::multiset<std::string>{
+                // frontend/ and rtcache/ are above spanner in the DAG;
+                // common/, self, system, and non-module includes pass.
+                "layering src/spanner/layering_violation.cc:9",
+                "layering src/spanner/layering_violation.cc:10",
+            }));
+}
+
+TEST(FslintLayeringTest, FlagsFilesInUndeclaredModules) {
+  std::vector<Finding> config_findings;
+  Options options;
+  options.layering = RealLayeringConfig(&config_findings);
+  std::vector<Finding> findings = LintFixture(
+      "layering_violation.cc", "src/mystery/layering_violation.cc", options);
+  EXPECT_EQ(Keys(findings),
+            (std::multiset<std::string>{
+                "layering src/mystery/layering_violation.cc:1"}));
+}
+
+TEST(FslintLayeringTest, UnrestrictedModulesMayIncludeAnything) {
+  std::vector<Finding> config_findings;
+  Options options;
+  options.layering = RealLayeringConfig(&config_findings);
+  std::vector<Finding> findings = LintFixture(
+      "layering_violation.cc", "src/sim/layering_violation.cc", options);
+  EXPECT_EQ(Keys(findings), std::multiset<std::string>{});
+}
+
+TEST(FslintLayeringTest, ConfigParserRejectsMalformedAndDanglingEntries) {
+  std::vector<Finding> findings;
+  LayeringConfig config = ParseLayeringConfig("cfg.toml",
+                                              "root = \"src\"\n"
+                                              "stray = 1\n"            // 2
+                                              "[module.a]\n"
+                                              "deps = [\"ghost\"]\n"   // 4
+                                              "[module.a]\n"           // 5
+                                              "[badline\n",            // 6
+                                              &findings);
+  EXPECT_TRUE(config.loaded());
+  EXPECT_EQ(Keys(findings), (std::multiset<std::string>{
+                                "layering cfg.toml:2",  // entry outside module
+                                "layering cfg.toml:3",  // dangling dep 'ghost'
+                                "layering cfg.toml:5",  // duplicate module
+                                "layering cfg.toml:6",  // malformed header
+                            }));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-tree sweep: the real src/ must be clean under every pass, and the
+// lock graph must contain the orders the annotations declare. This is the
+// "every nested mutex pair has a declared order" cross-check.
+// ---------------------------------------------------------------------------
+
+TEST(FslintTreeSweepTest, RealSrcTreeIsCleanAndGraphMatchesAnnotations) {
+  std::vector<FileInput> inputs;
+  std::filesystem::path root(FS_SOURCE_DIR);
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    inputs.push_back({std::filesystem::relative(entry.path(), root)
+                          .generic_string(),
+                      ReadFile(entry.path())});
+  }
+  std::sort(inputs.begin(), inputs.end(),
+            [](const FileInput& a, const FileInput& b) {
+              return a.path < b.path;
+            });
+  ASSERT_GE(inputs.size(), 50u);
+
+  std::vector<Finding> config_findings;
+  Options options;
+  options.fault_catalog =
+      ParseFaultCatalog(ReadFile(root / "docs" / "ROBUSTNESS.md"));
+  options.layering = RealLayeringConfig(&config_findings);
+  EXPECT_EQ(Keys(config_findings), std::multiset<std::string>{});
+  LockGraph graph;
+  options.lock_graph_out = &graph;
+
+  std::vector<Finding> findings = Lint(inputs, options);
+  EXPECT_EQ(Keys(findings), std::multiset<std::string>{})
+      << "real src/ tree must lint clean";
+
+  // The graph reflects the seeded annotations: every observed edge is
+  // sanctioned by the declared closure, and the known nestings are present.
+  EXPECT_GE(graph.nodes.size(), 10u);
+  std::set<std::string> want_observed{
+      "Changelog::mu_ -> RangeOwnership::mu_",
+      "Database::data_mu_ -> TimestampOracle::mu_",
+      "Frontend::mu_ -> Database::data_mu_",
+      "Frontend::mu_ -> QueryMatcher::mu_",
+  };
+  for (const LockEdge& e : graph.edges) {
+    if (e.observed) {
+      EXPECT_TRUE(e.covered) << e.from << " -> " << e.to
+                             << " observed but not declared";
+      want_observed.erase(e.from + " -> " + e.to);
+    }
+  }
+  EXPECT_EQ(want_observed, std::set<std::string>{})
+      << "expected nesting missing from the lock graph";
+
+  // Determinism: the parallel scan must not depend on worker count.
+  Options serial = options;
+  LockGraph serial_graph;
+  serial.lock_graph_out = &serial_graph;
+  serial.jobs = 1;
+  std::vector<Finding> serial_findings = Lint(inputs, serial);
+  EXPECT_EQ(Keys(serial_findings), Keys(findings));
+  EXPECT_EQ(LockGraphToJson(serial_graph), LockGraphToJson(graph));
+  Options wide = options;
+  wide.jobs = 8;
+  EXPECT_EQ(Keys(Lint(inputs, wide)), Keys(findings));
 }
 
 // ---------------------------------------------------------------------------

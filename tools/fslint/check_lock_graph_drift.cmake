@@ -1,0 +1,22 @@
+# Compares the committed lock-graph artifact against a fresh dump. Invoked
+# by the fslint_lock_graph_drift ctest (see CMakeLists.txt here); fails when
+# docs/lock_graph.dot no longer matches the tree.
+
+execute_process(
+  COMMAND ${FSLINT} --root ${ROOT} --dump-lock-graph ${FRESH}
+  RESULT_VARIABLE lint_status
+  OUTPUT_QUIET)
+# Exit status 1 just means "findings"; the fslint ctest owns that signal.
+if(lint_status GREATER 1)
+  message(FATAL_ERROR "fslint failed to run (status ${lint_status})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${FRESH}
+  RESULT_VARIABLE diff_status)
+if(NOT diff_status EQUAL 0)
+  message(FATAL_ERROR
+          "docs/lock_graph.dot is stale: the locking structure changed. "
+          "Regenerate with `fslint --root . --dump-lock-graph "
+          "docs/lock_graph.dot` and review the new edges.")
+endif()

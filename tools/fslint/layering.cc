@@ -1,0 +1,236 @@
+// Architecture-layering pass: checks every #include under src/ against the
+// module DAG declared in tools/fslint/layering.toml. See
+// docs/STATIC_ANALYSIS.md, "Architecture layering".
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+#include "source_file.h"
+
+namespace fslint {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Extracts the value of `key = ...` if the line matches, else nullopt-ish
+// empty view with matched=false.
+bool KeyValue(std::string_view line, std::string_view key,
+              std::string_view* value) {
+  if (line.substr(0, key.size()) != key) return false;
+  std::string_view rest = Trim(line.substr(key.size()));
+  if (rest.empty() || rest.front() != '=') return false;
+  *value = Trim(rest.substr(1));
+  return true;
+}
+
+// Parses `["a", "b"]` into items. Returns false on malformed syntax.
+bool ParseStringArray(std::string_view value, std::vector<std::string>* out) {
+  value = Trim(value);
+  if (value.size() < 2 || value.front() != '[' || value.back() != ']') {
+    return false;
+  }
+  std::string_view body = Trim(value.substr(1, value.size() - 2));
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t comma = body.find(',', start);
+    if (comma == std::string_view::npos) comma = body.size();
+    std::string_view item = Trim(body.substr(start, comma - start));
+    if (item.size() < 2 || item.front() != '"' || item.back() != '"') {
+      return false;
+    }
+    out->push_back(std::string(item.substr(1, item.size() - 2)));
+    start = comma + 1;
+  }
+  return true;
+}
+
+bool IsModuleNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+LayeringConfig ParseLayeringConfig(std::string path, std::string_view text,
+                                   std::vector<Finding>* out) {
+  LayeringConfig config;
+  config.path = std::move(path);
+  LayeringModule* current = nullptr;
+  std::set<std::string> names;
+
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      constexpr std::string_view kPrefix = "[module.";
+      if (line.substr(0, kPrefix.size()) != kPrefix || line.back() != ']') {
+        out->push_back({kRuleLayering, config.path, line_no,
+                        "malformed section header '" + std::string(line) +
+                            "' (expected [module.<name>])"});
+        current = nullptr;
+        continue;
+      }
+      std::string name(
+          line.substr(kPrefix.size(), line.size() - kPrefix.size() - 1));
+      if (name.empty() ||
+          !std::all_of(name.begin(), name.end(), IsModuleNameChar)) {
+        out->push_back({kRuleLayering, config.path, line_no,
+                        "invalid module name '" + name + "'"});
+        current = nullptr;
+        continue;
+      }
+      if (!names.insert(name).second) {
+        out->push_back({kRuleLayering, config.path, line_no,
+                        "duplicate module '" + name + "'"});
+        current = nullptr;
+        continue;
+      }
+      config.modules.push_back({name, {}, false, line_no});
+      current = &config.modules.back();
+      continue;
+    }
+
+    std::string_view value;
+    if (KeyValue(line, "root", &value)) {
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        config.root = std::string(value.substr(1, value.size() - 2));
+      } else {
+        out->push_back({kRuleLayering, config.path, line_no,
+                        "root must be a quoted string"});
+      }
+      continue;
+    }
+    if (current == nullptr) {
+      out->push_back({kRuleLayering, config.path, line_no,
+                      "entry outside a [module.<name>] section"});
+      continue;
+    }
+    if (KeyValue(line, "deps", &value)) {
+      if (!ParseStringArray(value, &current->deps)) {
+        out->push_back({kRuleLayering, config.path, line_no,
+                        "deps must be an array of quoted module names"});
+      }
+      continue;
+    }
+    if (KeyValue(line, "unrestricted", &value)) {
+      if (value == "true" || value == "false") {
+        current->unrestricted = (value == "true");
+      } else {
+        out->push_back({kRuleLayering, config.path, line_no,
+                        "unrestricted must be true or false"});
+      }
+      continue;
+    }
+    out->push_back({kRuleLayering, config.path, line_no,
+                    "unrecognized entry '" + std::string(line) + "'"});
+  }
+
+  // Validate dep names against declared modules.
+  for (const LayeringModule& m : config.modules) {
+    for (const std::string& dep : m.deps) {
+      if (names.count(dep) == 0) {
+        out->push_back({kRuleLayering, config.path, m.line,
+                        "module '" + m.name + "' depends on undeclared module '" +
+                            dep + "'"});
+      }
+      if (dep == m.name) {
+        out->push_back({kRuleLayering, config.path, m.line,
+                        "module '" + m.name + "' depends on itself"});
+      }
+    }
+  }
+  return config;
+}
+
+namespace {
+
+// Transitive closure of a module's allowed include targets (itself + deps,
+// recursively). Cycles in the config would otherwise be a license to include
+// anything, so they are closed over too — the DAG-ness of the config is the
+// reviewer's job; the closure just follows declared edges.
+std::set<std::string> AllowedTargets(const LayeringConfig& config,
+                                     const std::string& module) {
+  std::map<std::string, const LayeringModule*> by_name;
+  for (const LayeringModule& m : config.modules) by_name[m.name] = &m;
+  std::set<std::string> allowed;
+  std::vector<std::string> work{module};
+  while (!work.empty()) {
+    std::string cur = std::move(work.back());
+    work.pop_back();
+    if (!allowed.insert(cur).second) continue;
+    auto it = by_name.find(cur);
+    if (it == by_name.end()) continue;
+    for (const std::string& dep : it->second->deps) work.push_back(dep);
+  }
+  return allowed;
+}
+
+}  // namespace
+
+void CheckLayering(const SourceFile& file, const LayeringConfig& config,
+                   std::vector<Finding>* out) {
+  // Only files under the governed root are constrained.
+  const std::string prefix = config.root + "/";
+  if (file.path.compare(0, prefix.size(), prefix) != 0) return;
+  size_t slash = file.path.find('/', prefix.size());
+  if (slash == std::string::npos) return;  // file directly under root
+  const std::string module =
+      file.path.substr(prefix.size(), slash - prefix.size());
+
+  const LayeringModule* self = nullptr;
+  std::set<std::string> declared_names;
+  for (const LayeringModule& m : config.modules) {
+    declared_names.insert(m.name);
+    if (m.name == module) self = &m;
+  }
+  if (self == nullptr) {
+    out->push_back({kRuleLayering, file.path, 1,
+                    "module '" + module + "' is not declared in " +
+                        config.path +
+                        " (see docs/STATIC_ANALYSIS.md, \"Declaring a new "
+                        "module\")"});
+    return;
+  }
+  if (self->unrestricted) return;
+
+  const std::set<std::string> allowed = AllowedTargets(config, module);
+  for (const IncludeDirective& inc : file.includes) {
+    if (inc.angled) continue;  // system / toolchain headers
+    size_t sep = inc.path.find('/');
+    if (sep == std::string::npos) continue;  // not a module-qualified path
+    const std::string target = inc.path.substr(0, sep);
+    if (declared_names.count(target) == 0) continue;  // not a src module
+    if (allowed.count(target) != 0) continue;
+    out->push_back(
+        {kRuleLayering, file.path, inc.line,
+         "module '" + module + "' must not include \"" + inc.path +
+             "\": '" + target + "' is not in its declared dependency set (" +
+             config.path + ")"});
+  }
+}
+
+}  // namespace fslint

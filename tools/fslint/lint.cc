@@ -1,10 +1,14 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
+
+#include "lock_graph.h"
 
 namespace fslint {
 namespace {
@@ -134,6 +138,7 @@ Structure Analyze(const std::vector<Token>& tokens) {
   };
 
   for (const Token& tok : tokens) {
+    if (tok.is_string) continue;  // literal text never shapes declarations
     if (skip_depth > 0) {
       if (tok.text == "{") ++skip_depth;
       else if (tok.text == "}") --skip_depth;
@@ -216,6 +221,9 @@ const std::set<std::string>& RawSyncBannedTypes() {
 void CheckRawSync(const SourceFile& file, const std::vector<Token>& toks,
                   std::vector<Finding>* out) {
   for (size_t i = 2; i < toks.size(); ++i) {
+    if (toks[i].is_string || toks[i - 1].is_string || toks[i - 2].is_string) {
+      continue;
+    }
     if (toks[i - 2].text == "std" && toks[i - 1].text == "::" &&
         RawSyncBannedTypes().count(toks[i].text) > 0) {
       out->push_back({kRuleRawSync, file.path, toks[i].line,
@@ -233,9 +241,13 @@ void CheckDeterminism(const SourceFile& file, const std::vector<Token>& toks,
                     what + " is nondeterministic under seeded tests; " + fix});
   };
   for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].is_string) continue;
     const std::string& t = toks[i].text;
-    const std::string* prev = i > 0 ? &toks[i - 1].text : nullptr;
-    const std::string* next = i + 1 < toks.size() ? &toks[i + 1].text : nullptr;
+    const std::string* prev =
+        i > 0 && !toks[i - 1].is_string ? &toks[i - 1].text : nullptr;
+    const std::string* next = i + 1 < toks.size() && !toks[i + 1].is_string
+                                  ? &toks[i + 1].text
+                                  : nullptr;
     if (t == "random_device" && prev != nullptr && *prev == "::") {
       add(toks[i].line, "std::random_device", "seed an Rng (common/random.h)");
     } else if ((t == "rand" || t == "srand") && next != nullptr &&
@@ -323,7 +335,28 @@ size_t FirstTypeToken(const std::vector<Token>& toks) {
   return i;
 }
 
-bool IsMutexMember(const std::vector<Token>& toks) {
+// Removes FS_* attribute macros and their argument lists, so a declaration
+// like `Mutex mu_ FS_ACQUIRED_BEFORE(other_mu_)` still parses as a plain
+// mutex member below.
+std::vector<Token> StripAttributeMacros(const std::vector<Token>& toks) {
+  std::vector<Token> out;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text.rfind("FS_", 0) == 0 && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      int depth = 0;
+      for (++i; i < toks.size(); ++i) {
+        if (toks[i].text == "(") ++depth;
+        else if (toks[i].text == ")" && --depth == 0) break;
+      }
+      continue;
+    }
+    out.push_back(toks[i]);
+  }
+  return out;
+}
+
+bool IsMutexMember(const std::vector<Token>& raw_toks) {
+  std::vector<Token> toks = StripAttributeMacros(raw_toks);
   size_t i = FirstTypeToken(toks);
   if (i >= toks.size()) return false;
   const std::string& t = toks[i].text;
@@ -563,21 +596,43 @@ std::vector<CatalogEntry> ParseFaultCatalog(std::string_view markdown) {
 
 std::vector<Finding> Lint(const std::vector<FileInput>& files,
                           const Options& options) {
-  std::vector<SourceFile> lexed;
-  lexed.reserve(files.size());
-  for (const FileInput& input : files) {
-    lexed.push_back(Lex(input.path, input.content));
+  // Phase 1 (parallel): lex + tokenize + structure every file. Each file is
+  // independent, so workers pull indices off an atomic counter; results land
+  // in index-addressed slots, and every later phase iterates those slots in
+  // input order, so the output is identical regardless of thread count or
+  // scheduling.
+  std::vector<SourceFile> lexed(files.size());
+  std::vector<std::vector<Token>> tokens(files.size());
+  std::vector<Structure> structures(files.size());
+  {
+    unsigned hw = std::thread::hardware_concurrency();
+    size_t jobs = options.jobs > 0 ? static_cast<size_t>(options.jobs)
+                                   : (hw > 0 ? hw : 1);
+    jobs = std::min(jobs, std::max<size_t>(files.size(), 1));
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (size_t i = next.fetch_add(1); i < files.size();
+           i = next.fetch_add(1)) {
+        lexed[i] = Lex(files[i].path, files[i].content);
+        tokens[i] = Tokenize(lexed[i]);
+        structures[i] = Analyze(tokens[i]);
+      }
+    };
+    if (jobs <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(jobs);
+      for (size_t t = 0; t < jobs; ++t) threads.emplace_back(worker);
+      for (std::thread& th : threads) th.join();
+    }
   }
 
-  // Phase 1: tokenize + structure every file, and collect the names of
-  // classes that own a Mutex/SharedMutex (the guarded-member rule treats
-  // members of those types as internally synchronized).
-  std::vector<std::vector<Token>> tokens(lexed.size());
-  std::vector<Structure> structures(lexed.size());
+  // Collect the names of classes that own a Mutex/SharedMutex (the
+  // guarded-member rule treats members of those types as internally
+  // synchronized). Serial, in input order.
   std::set<std::string> synchronized_classes;
   for (size_t i = 0; i < lexed.size(); ++i) {
-    tokens[i] = Tokenize(lexed[i]);
-    structures[i] = Analyze(tokens[i]);
     for (const ClassInfo& cls : structures[i].classes) {
       for (const Stmt& m : cls.members) {
         if (IsMutexMember(m.toks)) {
@@ -614,6 +669,23 @@ std::vector<Finding> Lint(const std::vector<FileInput>& files,
   }
 
   CheckFaultRegistry(fault_sites, options, &findings);
+
+  // Whole-program lock-graph pass (lock-cycle / lock-order-* rules).
+  if (options.lock_graph) {
+    LockGraph graph = BuildLockGraph(lexed, tokens, &findings);
+    CheckLockGraph(graph, &findings);
+    if (options.lock_graph_out != nullptr) {
+      *options.lock_graph_out = std::move(graph);
+    }
+  }
+
+  // Architecture-layering pass (module DAG from tools/fslint/layering.toml;
+  // config parse errors are reported by ParseLayeringConfig at load time).
+  if (options.layering.loaded()) {
+    for (const SourceFile& file : lexed) {
+      CheckLayering(file, options.layering, &findings);
+    }
+  }
 
   // Suppression pass: a justified `allow(<rule>)` on the finding's line or
   // the line above silences it; an unjustified one never silences anything

@@ -22,6 +22,8 @@
 
 namespace fslint {
 
+struct LockGraph;
+
 struct Finding {
   std::string rule;
   std::string path;
@@ -36,12 +38,52 @@ struct CatalogEntry {
   int line = 0;
 };
 
+// One module in the architecture-layering DAG (docs/STATIC_ANALYSIS.md).
+// `deps` are the module directories this module may #include from; the
+// checker closes them transitively. `unrestricted` consumers (sim, ycsb)
+// may include anything.
+struct LayeringModule {
+  std::string name;
+  std::vector<std::string> deps;
+  bool unrestricted = false;
+  int line = 0;  // declaration line in the config, for diagnostics
+};
+
+struct LayeringConfig {
+  std::string path;          // config file path, for diagnostics
+  std::string root = "src";  // directory tree the DAG governs
+  std::vector<LayeringModule> modules;
+  bool loaded() const { return !modules.empty(); }
+};
+
+// Parses the tools/fslint/layering.toml module DAG. Malformed lines and
+// unknown dep names are reported as `layering` findings against the config
+// file itself.
+LayeringConfig ParseLayeringConfig(std::string path, std::string_view text,
+                                   std::vector<Finding>* out);
+
+// Checks `file`'s #include directives against the module DAG. Only files
+// under `config.root` are constrained; a file in a module the config does
+// not declare is itself a finding (declare the module first — see
+// docs/STATIC_ANALYSIS.md, "Declaring a new module").
+void CheckLayering(const SourceFile& file, const LayeringConfig& config,
+                   std::vector<Finding>* out);
+
 struct Options {
   // Parsed "Point catalog" from docs/ROBUSTNESS.md. When empty the
   // fault-point-registry rule only checks in-code uniqueness.
   std::vector<CatalogEntry> fault_catalog;
   // Path the catalog came from, used for catalog-side diagnostics.
   std::string catalog_path = "docs/ROBUSTNESS.md";
+  // Module DAG for the layering pass; when not loaded() the pass is off.
+  LayeringConfig layering;
+  // Whole-program lock-graph pass (lock-cycle / lock-order-* rules).
+  bool lock_graph = true;
+  // When non-null, receives the lock graph built during Lint() (for
+  // --dump-lock-graph and the drift gate).
+  LockGraph* lock_graph_out = nullptr;
+  // Worker threads for the per-file parse phase; 0 = hardware concurrency.
+  int jobs = 0;
 };
 
 struct FileInput {
@@ -57,6 +99,10 @@ inline constexpr char kRuleDeterminism[] = "determinism";
 inline constexpr char kRuleFaultPointRegistry[] = "fault-point-registry";
 inline constexpr char kRuleHeaderHygiene[] = "header-hygiene";
 inline constexpr char kRuleSuppression[] = "suppression";
+inline constexpr char kRuleLockCycle[] = "lock-cycle";
+inline constexpr char kRuleLockOrderContradiction[] = "lock-order-contradiction";
+inline constexpr char kRuleLockOrderUndeclared[] = "lock-order-undeclared";
+inline constexpr char kRuleLayering[] = "layering";
 
 // Lints `files` as one program: per-file rules plus the cross-file
 // fault-point registry check. Returned findings are sorted by (path, line)

@@ -1,0 +1,1533 @@
+#include "lock_graph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace fslint {
+namespace {
+
+bool IsIdentTok(const Token& t) {
+  return !t.is_string && !t.text.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t.text[0])) != 0 ||
+          t.text[0] == '_');
+}
+
+// Identifiers that can never start a member/call chain or name a type we
+// care about.
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",       "else",     "for",      "while",    "do",
+      "switch",   "case",     "default",  "return",   "break",
+      "continue", "new",      "delete",   "sizeof",   "static_cast",
+      "dynamic_cast", "const_cast", "reinterpret_cast", "auto",
+      "const",    "constexpr", "static",  "mutable",  "volatile",
+      "inline",   "virtual",  "explicit", "typename", "template",
+      "using",    "namespace", "class",   "struct",   "union",
+      "enum",     "public",   "private",  "protected", "operator",
+      "true",     "false",    "nullptr",  "void",     "bool",
+      "char",     "int",      "long",     "short",    "float",
+      "double",   "unsigned", "signed",   "throw",    "try",
+      "catch",    "goto",     "friend",   "typedef",  "final",
+      "override", "noexcept", "decltype",
+  };
+  return kKeywords;
+}
+
+// The annotated wrapper layer itself (src/common/thread_annotations.h) is
+// excluded from the symbol table: its internals are raw primitives, and
+// RAII/explicit acquisitions through it are modeled as graph events, not
+// call edges.
+const std::set<std::string>& WrapperClasses() {
+  static const std::set<std::string> kWrappers = {
+      "Mutex",          "SharedMutex",     "MutexLock",
+      "WriterMutexLock", "ReaderMutexLock", "CondVar",
+      "LockOrderChecker"};
+  return kWrappers;
+}
+
+bool IsRaiiLock(const std::string& t) {
+  return t == "MutexLock" || t == "WriterMutexLock" || t == "ReaderMutexLock";
+}
+
+bool ContainsText(const std::vector<Token>& toks, std::string_view text) {
+  for (const Token& t : toks) {
+    if (!t.is_string && t.text == text) return true;
+  }
+  return false;
+}
+
+int ParenDepth(const std::vector<Token>& toks) {
+  int depth = 0;
+  for (const Token& t : toks) {
+    if (t.is_string) continue;
+    if (t.text == "(") ++depth;
+    else if (t.text == ")") --depth;
+  }
+  return depth;
+}
+
+bool HasClassKeyAtTopLevel(const std::vector<Token>& toks) {
+  int angle = 0;
+  int paren = 0;
+  for (const Token& t : toks) {
+    if (t.is_string) continue;
+    if (t.text == "<") ++angle;
+    else if (t.text == ">" && angle > 0) --angle;
+    else if (t.text == "(") ++paren;
+    else if (t.text == ")" && paren > 0) --paren;
+    else if (angle == 0 && paren == 0 &&
+             (t.text == "class" || t.text == "struct" || t.text == "union")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// First '(' outside template angles and outside FS_* macro argument lists
+// (so `Mutex mu_ FS_ACQUIRED_BEFORE(b_)` has no "top-level" paren but
+// `void Foo(int) FS_REQUIRES(mu_)` finds Foo's).
+size_t FirstParenSkippingMacros(const std::vector<Token>& toks) {
+  int angle = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].is_string) continue;
+    const std::string& t = toks[i].text;
+    if (t.rfind("FS_", 0) == 0 && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      int depth = 0;
+      for (++i; i < toks.size(); ++i) {
+        if (toks[i].is_string) continue;
+        if (toks[i].text == "(") ++depth;
+        else if (toks[i].text == ")" && --depth == 0) break;
+      }
+      continue;
+    }
+    if (t == "<") ++angle;
+    else if (t == ">" && angle > 0) --angle;
+    else if (t == "(" && angle == 0) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+// ---------------------------------------------------------------------------
+// Per-file structural scan: classes (mutex members + annotations + member
+// types + bases) and methods (requires/acquire annotations, params, bodies).
+// ---------------------------------------------------------------------------
+
+// One FS_ACQUIRED_BEFORE/AFTER target: `b_` (same class) or a string
+// "ns::Class::member" split into segments.
+struct DeclaredTarget {
+  std::vector<std::string> segs;
+  int line = 0;
+};
+
+struct MutexSym {
+  std::string name;
+  int line = 0;
+  std::string path;
+  std::vector<DeclaredTarget> before;
+  std::vector<DeclaredTarget> after;
+};
+
+struct ClassSym {
+  std::string name;
+  std::vector<std::string> bases;
+  std::map<std::string, MutexSym> mutexes;
+  // member name -> identifier tokens of its declared type (resolved to a
+  // class later; the last token naming a known class wins, so
+  // `std::unique_ptr<rtcache::Changelog> changelog_` maps to Changelog).
+  std::map<std::string, std::vector<std::string>> member_type_idents;
+  std::map<std::string, std::string> member_class;  // resolved
+};
+
+struct RawChain {
+  std::vector<std::string> segs;
+};
+
+struct Param {
+  std::vector<std::string> type_idents;
+  std::string name;
+};
+
+struct MethodSym {
+  std::string cls;  // "" for free functions
+  std::string name;
+  std::string path;
+  int line = 0;
+  std::vector<RawChain> requires_chains;  // FS_REQUIRES[_SHARED] args
+  std::vector<RawChain> acquire_chains;   // FS_ACQUIRE[_SHARED] args
+  std::vector<Param> params;
+  std::vector<Token> body;
+  bool has_body = false;
+
+  std::string Display() const {
+    return cls.empty() ? name : cls + "::" + name;
+  }
+};
+
+struct FileScan {
+  std::vector<ClassSym> classes;
+  std::vector<MethodSym> methods;
+};
+
+// Splits a macro argument list `MACRO(a, b, ...)` starting at the macro
+// identifier into per-argument segment lists. String-literal arguments are
+// split on "::"; identifier chains keep their identifiers in order.
+std::vector<DeclaredTarget> ParseMacroArgs(const std::vector<Token>& toks,
+                                           size_t macro) {
+  std::vector<DeclaredTarget> out;
+  if (macro + 1 >= toks.size() || toks[macro + 1].is_string ||
+      toks[macro + 1].text != "(") {
+    return out;
+  }
+  DeclaredTarget cur;
+  int depth = 0;
+  for (size_t i = macro + 1; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.is_string) {
+      cur.line = t.line;
+      size_t pos = 0;
+      while (pos <= t.text.size()) {
+        size_t sep = t.text.find("::", pos);
+        if (sep == std::string::npos) {
+          if (pos < t.text.size()) cur.segs.push_back(t.text.substr(pos));
+          break;
+        }
+        if (sep > pos) cur.segs.push_back(t.text.substr(pos, sep - pos));
+        pos = sep + 2;
+      }
+      continue;
+    }
+    if (t.text == "(") {
+      if (++depth == 1) continue;
+    } else if (t.text == ")") {
+      if (--depth == 0) {
+        if (!cur.segs.empty()) out.push_back(std::move(cur));
+        break;
+      }
+    } else if (t.text == "," && depth == 1) {
+      if (!cur.segs.empty()) out.push_back(std::move(cur));
+      cur = DeclaredTarget();
+      continue;
+    }
+    if (IsIdentTok(t) && t.text != "this") {
+      if (cur.segs.empty()) cur.line = t.line;
+      cur.segs.push_back(t.text);
+    }
+  }
+  return out;
+}
+
+std::string ExtractClassNameFromHead(const std::vector<Token>& toks) {
+  size_t i = 0;
+  while (i < toks.size() &&
+         (toks[i].is_string ||
+          (toks[i].text != "class" && toks[i].text != "struct" &&
+           toks[i].text != "union"))) {
+    ++i;
+  }
+  for (++i; i < toks.size(); ++i) {
+    if (toks[i].is_string) continue;
+    const std::string& t = toks[i].text;
+    if (t.rfind("FS_", 0) == 0) {
+      if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+        int depth = 0;
+        for (++i; i < toks.size(); ++i) {
+          if (toks[i].is_string) continue;
+          if (toks[i].text == "(") ++depth;
+          else if (toks[i].text == ")" && --depth == 0) break;
+        }
+      }
+      continue;
+    }
+    if (t == ":") break;  // unnamed head reached the base list
+    if (IsIdentTok(toks[i]) && t != "final") return t;
+  }
+  return "<anonymous>";
+}
+
+std::vector<std::string> ExtractBases(const std::vector<Token>& toks) {
+  std::vector<std::string> bases;
+  // Find the base-list ':' at angle/paren depth 0 (note `::` is one token,
+  // so a bare ':' here is the base-clause introducer).
+  int angle = 0;
+  size_t i = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].is_string) continue;
+    const std::string& t = toks[i].text;
+    if (t == "<") ++angle;
+    else if (t == ">" && angle > 0) --angle;
+    else if (t == ":" && angle == 0) break;
+  }
+  if (i >= toks.size()) return bases;
+  std::string last;
+  for (++i; i < toks.size(); ++i) {
+    if (toks[i].is_string) continue;
+    const std::string& t = toks[i].text;
+    if (t == "<") { ++angle; continue; }
+    if (t == ">") { if (angle > 0) --angle; continue; }
+    if (angle > 0) continue;
+    if (t == ",") {
+      if (!last.empty()) bases.push_back(last);
+      last.clear();
+      continue;
+    }
+    if (IsIdentTok(toks[i]) && t != "public" && t != "private" &&
+        t != "protected" && t != "virtual") {
+      last = t;
+    }
+  }
+  if (!last.empty()) bases.push_back(last);
+  return bases;
+}
+
+MethodSym ParseMethodHead(const std::vector<Token>& toks,
+                          const std::string& enclosing_class,
+                          const std::string& path) {
+  MethodSym m;
+  m.path = path;
+  m.cls = enclosing_class;
+  size_t paren = FirstParenSkippingMacros(toks);
+  if (paren == static_cast<size_t>(-1) || paren == 0 ||
+      ContainsText(toks, "operator")) {
+    m.name = "operator";
+    if (!toks.empty()) m.line = toks.front().line;
+    return m;
+  }
+  const Token& name_tok = toks[paren - 1];
+  m.name = name_tok.text;
+  m.line = name_tok.line;
+  if (paren >= 2 && !toks[paren - 2].is_string &&
+      toks[paren - 2].text == "~") {
+    m.name = "~" + m.name;
+  } else if (paren >= 3 && !toks[paren - 2].is_string &&
+             toks[paren - 2].text == "::" && IsIdentTok(toks[paren - 3])) {
+    m.cls = toks[paren - 3].text;  // out-of-line definition
+  }
+
+  // Parameters: comma-split at depth 1 inside the parameter list.
+  int depth = 0;
+  Param cur;
+  size_t end = paren;
+  for (size_t i = paren; i < toks.size(); ++i) {
+    if (toks[i].is_string) continue;
+    const std::string& t = toks[i].text;
+    if (t == "(") {
+      if (++depth == 1) continue;
+    } else if (t == ")") {
+      if (--depth == 0) {
+        end = i;
+        break;
+      }
+    } else if (t == "," && depth == 1) {
+      if (cur.type_idents.size() >= 2) {
+        cur.name = cur.type_idents.back();
+        cur.type_idents.pop_back();
+        m.params.push_back(cur);
+      }
+      cur = Param();
+      continue;
+    } else if (t == "=" && depth == 1) {
+      continue;  // default argument; idents after it are values, but a
+                 // wrong extra ident only widens type_idents harmlessly
+    }
+    if (IsIdentTok(toks[i]) && Keywords().count(t) == 0) {
+      cur.type_idents.push_back(t);
+    }
+  }
+  if (cur.type_idents.size() >= 2) {
+    cur.name = cur.type_idents.back();
+    cur.type_idents.pop_back();
+    m.params.push_back(cur);
+  }
+
+  // Thread-safety annotations after the parameter list.
+  for (size_t i = end; i < toks.size(); ++i) {
+    if (!IsIdentTok(toks[i])) continue;
+    const std::string& t = toks[i].text;
+    std::vector<RawChain>* dest = nullptr;
+    if (t == "FS_REQUIRES" || t == "FS_REQUIRES_SHARED") {
+      dest = &m.requires_chains;
+    } else if (t == "FS_ACQUIRE" || t == "FS_ACQUIRE_SHARED") {
+      dest = &m.acquire_chains;
+    }
+    if (dest == nullptr) continue;
+    for (DeclaredTarget& target : ParseMacroArgs(toks, i)) {
+      dest->push_back(RawChain{std::move(target.segs)});
+    }
+  }
+  return m;
+}
+
+// Member declaration (class scope, ';'-terminated): classify as a mutex
+// member, a method declaration, or a plain data member.
+void FinalizeMemberDecl(const std::vector<Token>& pending, ClassSym* cls,
+                        std::vector<MethodSym>* methods,
+                        const std::string& path) {
+  if (pending.empty()) return;
+  static const std::set<std::string> kSkip = {
+      "using", "typedef", "friend", "static", "constexpr",
+      "template", "operator", "enum", "class", "struct", "union"};
+  for (const Token& t : pending) {
+    if (!t.is_string && kSkip.count(t.text) > 0) return;
+  }
+
+  // Strip FS_* macro spans for shape analysis (keep `pending` for args).
+  std::vector<Token> stripped;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (!pending[i].is_string && pending[i].text.rfind("FS_", 0) == 0 &&
+        i + 1 < pending.size() && pending[i + 1].text == "(") {
+      int depth = 0;
+      for (++i; i < pending.size(); ++i) {
+        if (pending[i].is_string) continue;
+        if (pending[i].text == "(") ++depth;
+        else if (pending[i].text == ")" && --depth == 0) break;
+      }
+      continue;
+    }
+    if (!pending[i].is_string) stripped.push_back(pending[i]);
+  }
+  if (stripped.empty()) return;
+
+  size_t paren = FirstParenSkippingMacros(stripped);
+  if (paren != static_cast<size_t>(-1)) {
+    // Method declaration: keep it so FS_REQUIRES on the in-class prototype
+    // reaches the out-of-line definition's analysis.
+    MethodSym m = ParseMethodHead(pending, cls->name, path);
+    if (m.name != "operator") methods->push_back(std::move(m));
+    return;
+  }
+
+  // First type token, skipping qualifiers.
+  size_t type = 0;
+  while (type < stripped.size() &&
+         (stripped[type].text == "mutable" || stripped[type].text == "const" ||
+          stripped[type].text == "volatile" || stripped[type].text == "::" ||
+          stripped[type].text == "firestore")) {
+    ++type;
+  }
+  if (type >= stripped.size()) return;
+
+  bool pointer_like = false;
+  for (const Token& t : stripped) {
+    if (!t.is_string && (t.text == "*" || t.text == "&")) pointer_like = true;
+  }
+
+  // Member name: last plain identifier before any initializer.
+  std::string name;
+  std::vector<std::string> type_idents;
+  for (const Token& t : stripped) {
+    if (t.is_string) continue;
+    if (t.text == "=" || t.text == "[") break;
+    if (IsIdentTok(t) && Keywords().count(t.text) == 0) {
+      if (!name.empty()) type_idents.push_back(name);
+      name = t.text;
+    }
+  }
+  if (name.empty()) return;
+
+  const std::string& first_type = stripped[type].text;
+  if ((first_type == "Mutex" || first_type == "SharedMutex") &&
+      !pointer_like) {
+    MutexSym mu;
+    mu.name = name;
+    mu.line = stripped[type].line;
+    mu.path = path;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (!IsIdentTok(pending[i])) continue;
+      if (pending[i].text == "FS_ACQUIRED_BEFORE") {
+        for (DeclaredTarget& t : ParseMacroArgs(pending, i)) {
+          mu.before.push_back(std::move(t));
+        }
+      } else if (pending[i].text == "FS_ACQUIRED_AFTER") {
+        for (DeclaredTarget& t : ParseMacroArgs(pending, i)) {
+          mu.after.push_back(std::move(t));
+        }
+      }
+    }
+    cls->mutexes[name] = std::move(mu);
+    return;
+  }
+  if (!type_idents.empty()) {
+    cls->member_type_idents[name] = std::move(type_idents);
+  }
+}
+
+FileScan ScanFile(const SourceFile& file, const std::vector<Token>& toks) {
+  FileScan out;
+
+  struct Frame {
+    bool is_class = false;
+    int class_index = -1;  // into out.classes
+  };
+  std::vector<Frame> frames{Frame{}};
+  std::vector<Token> pending;
+  int skip_depth = 0;
+
+  auto current_class = [&]() -> ClassSym* {
+    const Frame& f = frames.back();
+    return f.is_class ? &out.classes[f.class_index] : nullptr;
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (skip_depth > 0) {
+      if (!tok.is_string) {
+        if (tok.text == "{") ++skip_depth;
+        else if (tok.text == "}") --skip_depth;
+      }
+      continue;
+    }
+    if (tok.is_string) {
+      pending.push_back(tok);
+      continue;
+    }
+    const std::string& t = tok.text;
+
+    if (t == ";") {
+      if (ClassSym* cls = current_class()) {
+        FinalizeMemberDecl(pending, cls, &out.methods, file.path);
+      }
+      pending.clear();
+      continue;
+    }
+    if (t == ":") {
+      if (current_class() != nullptr && pending.size() == 1 &&
+          (pending[0].text == "public" || pending[0].text == "private" ||
+           pending[0].text == "protected")) {
+        pending.clear();
+        continue;
+      }
+      pending.push_back(tok);
+      continue;
+    }
+    if (t == "{") {
+      if (ParenDepth(pending) > 0) {
+        // Lambda body or brace-init inside an argument list: skip it and
+        // keep accumulating the declaration (its acquisitions are invisible
+        // by design — declare such edges with FS_ACQUIRED_BEFORE).
+        skip_depth = 1;
+        continue;
+      }
+      if (ContainsText(pending, "namespace")) {
+        frames.push_back(Frame{});
+        pending.clear();
+        continue;
+      }
+      if (ContainsText(pending, "enum")) {
+        pending.clear();
+        skip_depth = 1;
+        continue;
+      }
+      if (HasClassKeyAtTopLevel(pending)) {
+        ClassSym cls;
+        cls.name = ExtractClassNameFromHead(pending);
+        cls.bases = ExtractBases(pending);
+        out.classes.push_back(std::move(cls));
+        frames.push_back(
+            Frame{true, static_cast<int>(out.classes.size()) - 1});
+        pending.clear();
+        continue;
+      }
+      if (pending.empty()) {
+        skip_depth = 1;
+        continue;
+      }
+      if (ContainsText(pending, "operator") ||
+          FirstParenSkippingMacros(pending) != static_cast<size_t>(-1)) {
+        ClassSym* cls = current_class();
+        MethodSym m = ParseMethodHead(
+            pending, cls != nullptr ? cls->name : std::string(), file.path);
+        pending.clear();
+        int depth = 1;
+        size_t j = i + 1;
+        for (; j < toks.size(); ++j) {
+          if (!toks[j].is_string) {
+            if (toks[j].text == "{") ++depth;
+            else if (toks[j].text == "}" && --depth == 0) break;
+          }
+          m.body.push_back(toks[j]);
+        }
+        i = j;
+        m.has_body = true;
+        out.methods.push_back(std::move(m));
+        continue;
+      }
+      skip_depth = 1;  // brace initializer at declaration scope
+      continue;
+    }
+    if (t == "}") {
+      pending.clear();
+      if (frames.size() > 1) frames.pop_back();
+      continue;
+    }
+    pending.push_back(tok);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program tables and chain resolution.
+// ---------------------------------------------------------------------------
+
+struct Program {
+  std::map<std::string, ClassSym> classes;
+  std::map<std::string, std::vector<std::string>> derived;  // base -> derived
+  std::map<std::string, std::vector<MethodSym>> methods;    // "Cls::name"
+};
+
+std::string MethodKey(const std::string& cls, const std::string& name) {
+  return cls + "::" + name;
+}
+
+const MutexSym* FindMutex(const Program& prog, const std::string& cls,
+                          const std::string& member, std::string* owner) {
+  std::set<std::string> seen;
+  std::vector<std::string> stack{cls};
+  while (!stack.empty()) {
+    std::string c = stack.back();
+    stack.pop_back();
+    if (!seen.insert(c).second) continue;
+    auto it = prog.classes.find(c);
+    if (it == prog.classes.end()) continue;
+    auto mit = it->second.mutexes.find(member);
+    if (mit != it->second.mutexes.end()) {
+      *owner = c;
+      return &mit->second;
+    }
+    for (const std::string& b : it->second.bases) stack.push_back(b);
+  }
+  return nullptr;
+}
+
+const std::string* FindMemberClass(const Program& prog, const std::string& cls,
+                                   const std::string& member) {
+  std::set<std::string> seen;
+  std::vector<std::string> stack{cls};
+  while (!stack.empty()) {
+    std::string c = stack.back();
+    stack.pop_back();
+    if (!seen.insert(c).second) continue;
+    auto it = prog.classes.find(c);
+    if (it == prog.classes.end()) continue;
+    auto mit = it->second.member_class.find(member);
+    if (mit != it->second.member_class.end()) return &mit->second;
+    for (const std::string& b : it->second.bases) stack.push_back(b);
+  }
+  return nullptr;
+}
+
+struct Resolution {
+  enum Kind { kUnknown, kClass, kMutex } kind = kUnknown;
+  std::string cls;   // for kClass
+  std::string node;  // for kMutex, "Class::member"
+};
+
+struct Ctx {
+  const Program* prog = nullptr;
+  std::string cls;  // enclosing class of the method being analyzed
+  std::map<std::string, std::string> env;  // local/param name -> class
+};
+
+Resolution ResolveChain(const std::vector<std::string>& segs,
+                        const Ctx& ctx) {
+  Resolution r;
+  if (segs.empty()) return r;
+  const Program& prog = *ctx.prog;
+  size_t idx = 0;
+  std::string cur;
+
+  const std::string& s0 = segs[0];
+  std::string owner;
+  if (s0 == "this") {
+    cur = ctx.cls;
+    idx = 1;
+  } else if (auto it = ctx.env.find(s0); it != ctx.env.end()) {
+    cur = it->second;
+    idx = 1;
+  } else if (!ctx.cls.empty() &&
+             FindMutex(prog, ctx.cls, s0, &owner) != nullptr) {
+    if (segs.size() != 1) return r;
+    r.kind = Resolution::kMutex;
+    r.node = owner + "::" + s0;
+    return r;
+  } else if (!ctx.cls.empty() &&
+             FindMemberClass(prog, ctx.cls, s0) != nullptr) {
+    cur = *FindMemberClass(prog, ctx.cls, s0);
+    idx = 1;
+  } else {
+    // Possibly namespace-qualified: first segment naming a known class
+    // anchors the walk (e.g. ["spanner", "Database", "data_mu_"]).
+    for (size_t k = 0; k + 1 < segs.size(); ++k) {
+      if (prog.classes.count(segs[k]) > 0) {
+        cur = segs[k];
+        idx = k + 1;
+        break;
+      }
+    }
+    if (idx == 0) {
+      if (segs.size() == 1 && prog.classes.count(s0) > 0) {
+        r.kind = Resolution::kClass;
+        r.cls = s0;
+      }
+      return r;
+    }
+  }
+
+  while (idx < segs.size()) {
+    const std::string& s = segs[idx];
+    if (FindMutex(prog, cur, s, &owner) != nullptr) {
+      if (idx + 1 != segs.size()) return Resolution{};
+      r.kind = Resolution::kMutex;
+      r.node = owner + "::" + s;
+      return r;
+    }
+    if (const std::string* next = FindMemberClass(prog, cur, s)) {
+      cur = *next;
+      ++idx;
+      continue;
+    }
+    return Resolution{};
+  }
+  r.kind = Resolution::kClass;
+  r.cls = cur;
+  return r;
+}
+
+// All method keys a call `receiver.name(...)` can land on: the receiver's
+// class, its bases (inherited methods), and transitively derived classes
+// (virtual dispatch).
+std::vector<std::string> MethodKeysFor(const Program& prog,
+                                       const std::string& cls,
+                                       const std::string& name) {
+  std::vector<std::string> keys;
+  std::set<std::string> seen_cls;
+  std::vector<std::string> stack{cls};
+  bool found_upward = false;
+  // Upward: the statically named method (first match wins).
+  std::vector<std::string> up{cls};
+  while (!up.empty() && !found_upward) {
+    std::string c = up.back();
+    up.pop_back();
+    if (prog.methods.count(MethodKey(c, name)) > 0) {
+      keys.push_back(MethodKey(c, name));
+      found_upward = true;
+      break;
+    }
+    auto it = prog.classes.find(c);
+    if (it != prog.classes.end()) {
+      for (const std::string& b : it->second.bases) up.push_back(b);
+    }
+  }
+  // Downward: every override in the derived closure.
+  while (!stack.empty()) {
+    std::string c = stack.back();
+    stack.pop_back();
+    if (!seen_cls.insert(c).second) continue;
+    if (c != cls && prog.methods.count(MethodKey(c, name)) > 0) {
+      keys.push_back(MethodKey(c, name));
+    }
+    auto it = prog.derived.find(c);
+    if (it != prog.derived.end()) {
+      for (const std::string& d : it->second) stack.push_back(d);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Body analysis: symbolic walk producing acquire/call events with held-set
+// snapshots.
+// ---------------------------------------------------------------------------
+
+struct Event {
+  enum Kind { kAcquire, kCall } kind = kAcquire;
+  std::string node;                       // kAcquire
+  std::vector<std::string> callee_keys;   // kCall
+  std::vector<std::string> held;          // snapshot, acquisition order
+  int line = 0;
+};
+
+struct MethodSummary {
+  std::string display;
+  std::string path;
+  std::vector<std::string> entry_held;  // from FS_REQUIRES
+  std::set<std::string> direct_acquires;
+  std::vector<Event> events;
+};
+
+struct Chain {
+  std::vector<std::string> segs;
+  bool all_colons = true;  // every separator was '::'
+  size_t end = 0;          // index of first token after the chain
+};
+
+Chain ParseChainAt(const std::vector<Token>& body, size_t i) {
+  Chain c;
+  c.segs.push_back(body[i].text);
+  size_t j = i + 1;
+  while (j + 1 < body.size() && !body[j].is_string &&
+         (body[j].text == "." || body[j].text == "->" ||
+          body[j].text == "::") &&
+         IsIdentTok(body[j + 1])) {
+    if (body[j].text != "::") c.all_colons = false;
+    c.segs.push_back(body[j + 1].text);
+    j += 2;
+  }
+  c.end = j;
+  return c;
+}
+
+size_t SkipBalanced(const std::vector<Token>& body, size_t open,
+                    const std::string& open_tok, const std::string& close_tok) {
+  int depth = 0;
+  size_t i = open;
+  for (; i < body.size(); ++i) {
+    if (body[i].is_string) continue;
+    if (body[i].text == open_tok) ++depth;
+    else if (body[i].text == close_tok && --depth == 0) break;
+  }
+  return i;
+}
+
+void AnalyzeBody(const Program& prog, const MethodSym& method,
+                 const std::vector<MethodSym>& decls, MethodSummary* out) {
+  Ctx ctx;
+  ctx.prog = &prog;
+  ctx.cls = method.cls;
+  for (const Param& p : method.params) {
+    for (auto it = p.type_idents.rbegin(); it != p.type_idents.rend(); ++it) {
+      if (prog.classes.count(*it) > 0) {
+        ctx.env[p.name] = *it;
+        break;
+      }
+    }
+  }
+
+  struct Held {
+    std::string node;
+    std::string raii_var;  // empty for explicit Lock() and entry-held
+    int scope = -1;
+  };
+  std::vector<Held> held;
+
+  // Entry-held locks: FS_REQUIRES from this symbol and every declaration of
+  // the same method (annotations live on in-class prototypes).
+  for (const MethodSym* src : [&] {
+        std::vector<const MethodSym*> all{&method};
+        for (const MethodSym& d : decls) {
+          if (&d != &method) all.push_back(&d);
+        }
+        return all;
+      }()) {
+    for (const RawChain& chain : src->requires_chains) {
+      Resolution r = ResolveChain(chain.segs, ctx);
+      if (r.kind == Resolution::kMutex) {
+        bool dup = false;
+        for (const Held& h : held) dup = dup || h.node == r.node;
+        if (!dup) held.push_back({r.node, "", -1});
+      }
+    }
+    for (const RawChain& chain : src->acquire_chains) {
+      Resolution r = ResolveChain(chain.segs, ctx);
+      if (r.kind == Resolution::kMutex) out->direct_acquires.insert(r.node);
+    }
+  }
+  for (const Held& h : held) out->entry_held.push_back(h.node);
+
+  auto snapshot = [&] {
+    std::vector<std::string> s;
+    s.reserve(held.size());
+    for (const Held& h : held) s.push_back(h.node);
+    return s;
+  };
+
+  const std::vector<Token>& body = method.body;
+  int scope = 0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const Token& tok = body[i];
+    if (tok.is_string) continue;
+    const std::string& t = tok.text;
+
+    if (t == "{") {
+      ++scope;
+      continue;
+    }
+    if (t == "}") {
+      held.erase(std::remove_if(held.begin(), held.end(),
+                                [&](const Held& h) {
+                                  return !h.raii_var.empty() &&
+                                         h.scope == scope;
+                                }),
+                 held.end());
+      --scope;
+      continue;
+    }
+    if (t == "[") {
+      // `[[attr]]`, structured binding, or lambda. Lambdas are skipped
+      // whole: their bodies run at an unknown later point (or, when invoked
+      // synchronously through a std::function, are invisible to static
+      // analysis anyway — declare those edges).
+      if (i + 1 < body.size() && !body[i + 1].is_string &&
+          body[i + 1].text == "[") {
+        i = SkipBalanced(body, i, "[", "]");  // lands on the final ']'
+        continue;
+      }
+      bool structured_binding = false;
+      for (size_t back = i; back > 0;) {
+        const Token& p = body[--back];
+        if (p.is_string) break;
+        if (p.text == "&") continue;
+        structured_binding = p.text == "auto";
+        break;
+      }
+      size_t close = SkipBalanced(body, i, "[", "]");
+      if (structured_binding) {
+        i = close;
+        continue;
+      }
+      // Lambda: skip capture list, optional parameter list / specifiers,
+      // then the body braces.
+      size_t j = close + 1;
+      if (j < body.size() && !body[j].is_string && body[j].text == "(") {
+        j = SkipBalanced(body, j, "(", ")") + 1;
+      }
+      while (j < body.size() &&
+             (body[j].is_string || body[j].text != "{")) {
+        if (!body[j].is_string &&
+            (body[j].text == ";" || body[j].text == ")")) {
+          break;  // not a lambda after all (e.g. subscript-ish); bail out
+        }
+        ++j;
+      }
+      if (j < body.size() && body[j].text == "{") {
+        j = SkipBalanced(body, j, "{", "}");
+      }
+      i = j;
+      continue;
+    }
+    if (!IsIdentTok(tok)) continue;
+    if (Keywords().count(t) > 0 && t != "this") continue;
+    // Chain start: previous token must not be a member/scope separator.
+    if (i > 0 && !body[i - 1].is_string &&
+        (body[i - 1].text == "." || body[i - 1].text == "->" ||
+         body[i - 1].text == "::" || body[i - 1].text == "~")) {
+      continue;
+    }
+
+    // RAII acquisition: `MutexLock lock(&chain);`
+    if (IsRaiiLock(t) && i + 3 < body.size() && IsIdentTok(body[i + 1]) &&
+        body[i + 2].text == "(" && body[i + 3].text == "&") {
+      Chain chain = ParseChainAt(body, i + 4);
+      if (chain.end < body.size() && body[chain.end].text == ")") {
+        Resolution r = ResolveChain(chain.segs, ctx);
+        if (r.kind == Resolution::kMutex) {
+          Event e;
+          e.kind = Event::kAcquire;
+          e.node = r.node;
+          e.held = snapshot();
+          e.line = tok.line;
+          out->events.push_back(std::move(e));
+          out->direct_acquires.insert(r.node);
+          held.push_back({r.node, body[i + 1].text, scope});
+        }
+        i = chain.end;
+        continue;
+      }
+    }
+
+    Chain chain = ParseChainAt(body, i);
+    size_t end = chain.end;
+
+    if (end < body.size() && !body[end].is_string &&
+        body[end].text == "(") {
+      const std::string& last = chain.segs.back();
+      if (chain.segs.size() >= 2 &&
+          (last == "Lock" || last == "LockShared" || last == "TryLock")) {
+        std::vector<std::string> recv(chain.segs.begin(),
+                                      chain.segs.end() - 1);
+        Resolution r = ResolveChain(recv, ctx);
+        if (r.kind == Resolution::kMutex) {
+          Event e;
+          e.kind = Event::kAcquire;
+          e.node = r.node;
+          e.held = snapshot();
+          e.line = tok.line;
+          out->events.push_back(std::move(e));
+          out->direct_acquires.insert(r.node);
+          held.push_back({r.node, "", scope});
+          i = end;
+          continue;
+        }
+      }
+      if (chain.segs.size() >= 2 &&
+          (last == "Unlock" || last == "UnlockShared")) {
+        // Early release through the RAII guard variable...
+        if (chain.segs.size() == 2) {
+          bool released = false;
+          for (size_t h = held.size(); h > 0; --h) {
+            if (held[h - 1].raii_var == chain.segs[0]) {
+              held.erase(held.begin() + static_cast<long>(h) - 1);
+              released = true;
+              break;
+            }
+          }
+          if (released) {
+            i = end;
+            continue;
+          }
+        }
+        // ...or directly on the mutex.
+        std::vector<std::string> recv(chain.segs.begin(),
+                                      chain.segs.end() - 1);
+        Resolution r = ResolveChain(recv, ctx);
+        if (r.kind == Resolution::kMutex) {
+          for (size_t h = held.size(); h > 0; --h) {
+            if (held[h - 1].node == r.node) {
+              held.erase(held.begin() + static_cast<long>(h) - 1);
+              break;
+            }
+          }
+          i = end;
+          continue;
+        }
+      }
+      // Ordinary call: resolve the callee(s).
+      std::vector<std::string> keys;
+      if (chain.segs.size() == 1) {
+        if (!ctx.cls.empty()) keys = MethodKeysFor(prog, ctx.cls, last);
+        if (keys.empty() && prog.methods.count(MethodKey("", last)) > 0) {
+          keys.push_back(MethodKey("", last));
+        }
+      } else {
+        std::vector<std::string> recv(chain.segs.begin(),
+                                      chain.segs.end() - 1);
+        Resolution r = ResolveChain(recv, ctx);
+        if (r.kind == Resolution::kClass) {
+          keys = MethodKeysFor(prog, r.cls, last);
+        } else if (r.kind == Resolution::kUnknown && chain.all_colons) {
+          // Namespace-qualified free function (query::PlanQuery) or
+          // static member (Class::Method).
+          for (size_t k = 0; k + 1 < chain.segs.size(); ++k) {
+            if (prog.classes.count(chain.segs[k]) > 0) {
+              keys = MethodKeysFor(prog, chain.segs[k], last);
+              break;
+            }
+          }
+          if (keys.empty() && prog.methods.count(MethodKey("", last)) > 0) {
+            keys.push_back(MethodKey("", last));
+          }
+        }
+      }
+      if (!keys.empty() && !held.empty()) {
+        Event e;
+        e.kind = Event::kCall;
+        e.callee_keys = std::move(keys);
+        e.held = snapshot();
+        e.line = tok.line;
+        out->events.push_back(std::move(e));
+      } else if (!keys.empty()) {
+        // Still record for the acquires* fixpoint.
+        Event e;
+        e.kind = Event::kCall;
+        e.callee_keys = std::move(keys);
+        e.line = tok.line;
+        out->events.push_back(std::move(e));
+      }
+      i = end;  // keep scanning inside the argument list
+      continue;
+    }
+
+    // Local declaration: `rtcache::QueryMatcher m` / `Target& t` — register
+    // the variable's class for later chain resolution.
+    if (chain.all_colons && prog.classes.count(chain.segs.back()) > 0) {
+      size_t j = end;
+      while (j < body.size() && !body[j].is_string &&
+             (body[j].text == "&" || body[j].text == "*" ||
+              body[j].text == "const")) {
+        ++j;
+      }
+      if (j < body.size() && IsIdentTok(body[j]) &&
+          Keywords().count(body[j].text) == 0) {
+        ctx.env[body[j].text] = chain.segs.back();
+        i = j;
+        continue;
+      }
+    }
+    i = end - 1;
+  }
+}
+
+// Deterministic transitive closure of the declared edges.
+std::map<std::string, std::set<std::string>> DeclaredClosure(
+    const LockGraph& graph) {
+  std::map<std::string, std::set<std::string>> adj;
+  for (const LockEdge& e : graph.edges) {
+    if (e.declared) adj[e.from].insert(e.to);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [from, tos] : adj) {
+      std::set<std::string> next = tos;
+      for (const std::string& mid : tos) {
+        auto it = adj.find(mid);
+        if (it == adj.end()) continue;
+        for (const std::string& to : it->second) {
+          if (next.insert(to).second) changed = true;
+        }
+      }
+      tos = std::move(next);
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Graph construction.
+// ---------------------------------------------------------------------------
+
+LockGraph BuildLockGraph(const std::vector<SourceFile>& files,
+                         const std::vector<std::vector<Token>>& tokens,
+                         std::vector<Finding>* out) {
+  Program prog;
+  std::vector<FileScan> scans;
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (!files[i].InDir("src")) continue;
+    scans.push_back(ScanFile(files[i], tokens[i]));
+  }
+  for (FileScan& scan : scans) {
+    for (ClassSym& cls : scan.classes) {
+      if (cls.name == "<anonymous>" || WrapperClasses().count(cls.name) > 0) {
+        continue;
+      }
+      ClassSym& merged = prog.classes[cls.name];
+      merged.name = cls.name;
+      for (const std::string& b : cls.bases) {
+        if (std::find(merged.bases.begin(), merged.bases.end(), b) ==
+            merged.bases.end()) {
+          merged.bases.push_back(b);
+        }
+      }
+      for (auto& [name, mu] : cls.mutexes) merged.mutexes[name] = mu;
+      for (auto& [name, ty] : cls.member_type_idents) {
+        merged.member_type_idents[name] = ty;
+      }
+    }
+    for (MethodSym& m : scan.methods) {
+      if (WrapperClasses().count(m.cls) > 0) continue;
+      prog.methods[MethodKey(m.cls, m.name)].push_back(std::move(m));
+    }
+  }
+  for (const auto& [name, cls] : prog.classes) {
+    for (const std::string& b : cls.bases) prog.derived[b].push_back(name);
+    ClassSym& mutable_cls = prog.classes[name];
+    for (const auto& [member, idents] : cls.member_type_idents) {
+      for (auto it = idents.rbegin(); it != idents.rend(); ++it) {
+        if (prog.classes.count(*it) > 0 &&
+            WrapperClasses().count(*it) == 0) {
+          mutable_cls.member_class[member] = *it;
+          break;
+        }
+      }
+    }
+  }
+
+  LockGraph graph;
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+
+  auto add_observed = [&](const std::string& from, const std::string& to,
+                          const std::string& via, const std::string& callee,
+                          const std::string& path, int line) {
+    LockEdge& e = edges[{from, to}];
+    e.from = from;
+    e.to = to;
+    bool better = !e.observed ||
+                  std::tie(path, line, via) <
+                      std::tie(e.path, e.line, e.via_function);
+    e.observed = true;
+    if (better) {
+      e.via_function = via;
+      e.via_callee = callee;
+      e.path = path;
+      e.line = line;
+    }
+  };
+
+  // Nodes + declared edges.
+  for (const auto& [cls_name, cls] : prog.classes) {
+    for (const auto& [mu_name, mu] : cls.mutexes) {
+      graph.nodes.push_back(cls_name + "::" + mu_name);
+    }
+  }
+  std::sort(graph.nodes.begin(), graph.nodes.end());
+  std::set<std::string> node_set(graph.nodes.begin(), graph.nodes.end());
+
+  auto resolve_target = [&](const DeclaredTarget& target,
+                            const std::string& own_cls,
+                            std::string* node) -> bool {
+    const std::vector<std::string>& segs = target.segs;
+    if (segs.empty()) return false;
+    std::string cls = segs.size() == 1 ? own_cls : segs[segs.size() - 2];
+    std::string candidate = cls + "::" + segs.back();
+    if (node_set.count(candidate) == 0) return false;
+    *node = candidate;
+    return true;
+  };
+
+  for (const auto& [cls_name, cls] : prog.classes) {
+    for (const auto& [mu_name, mu] : cls.mutexes) {
+      const std::string self = cls_name + "::" + mu_name;
+      auto declare = [&](const DeclaredTarget& target, bool self_first) {
+        std::string other;
+        if (!resolve_target(target, cls_name, &other)) {
+          out->push_back(
+              {kRuleLockOrderContradiction, mu.path, target.line,
+               "FS_ACQUIRED_" + std::string(self_first ? "BEFORE" : "AFTER") +
+                   " target on " + self + " names no known mutex; expected "
+                   "a sibling member or a \"ns::Class::member\" string"});
+          return;
+        }
+        const std::string& from = self_first ? self : other;
+        const std::string& to = self_first ? other : self;
+        LockEdge& e = edges[{from, to}];
+        e.from = from;
+        e.to = to;
+        e.declared = true;
+        if (e.declared_path.empty()) {
+          e.declared_path = mu.path;
+          e.declared_line = target.line;
+        }
+      };
+      for (const DeclaredTarget& t : mu.before) declare(t, true);
+      for (const DeclaredTarget& t : mu.after) declare(t, false);
+    }
+  }
+
+  // Per-method summaries.
+  std::map<std::string, MethodSummary> summaries;
+  for (const auto& [key, syms] : prog.methods) {
+    MethodSummary& sum = summaries[key];
+    for (const MethodSym& m : syms) {
+      if (sum.display.empty()) sum.display = m.Display();
+      if (!m.has_body) continue;
+      MethodSummary one;
+      one.path = m.path;
+      AnalyzeBody(prog, m, syms, &one);
+      for (const std::string& n : one.direct_acquires) {
+        sum.direct_acquires.insert(n);
+      }
+      for (Event& e : one.events) sum.events.push_back(std::move(e));
+      if (sum.path.empty()) sum.path = m.path;
+    }
+  }
+
+  // Fixpoint: locks transitively acquired by each method.
+  std::map<std::string, std::set<std::string>> acq;
+  for (const auto& [key, sum] : summaries) acq[key] = sum.direct_acquires;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, sum] : summaries) {
+      std::set<std::string>& mine = acq[key];
+      for (const Event& e : sum.events) {
+        if (e.kind != Event::kCall) continue;
+        for (const std::string& callee : e.callee_keys) {
+          auto it = acq.find(callee);
+          if (it == acq.end()) continue;
+          for (const std::string& n : it->second) {
+            changed = changed || mine.insert(n).second;
+          }
+        }
+      }
+    }
+  }
+
+  // Observed edges: every lock acquired (directly or via a call) while
+  // another is held.
+  for (const auto& [key, sum] : summaries) {
+    for (const Event& e : sum.events) {
+      if (e.kind == Event::kAcquire) {
+        for (const std::string& h : e.held) {
+          add_observed(h, e.node, sum.display, "", sum.path, e.line);
+        }
+      } else {
+        if (e.held.empty()) continue;
+        for (const std::string& callee : e.callee_keys) {
+          auto it = acq.find(callee);
+          if (it == acq.end()) continue;
+          const std::string callee_display =
+              summaries.count(callee) > 0 ? summaries[callee].display
+                                          : callee;
+          for (const std::string& n : it->second) {
+            for (const std::string& h : e.held) {
+              add_observed(h, n, sum.display, callee_display, sum.path,
+                           e.line);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (auto& [key, edge] : edges) graph.edges.push_back(std::move(edge));
+
+  // Mark edges sanctioned by the declared transitive closure (directly
+  // declared or reachable through a chain of declarations).
+  const std::map<std::string, std::set<std::string>> closure =
+      DeclaredClosure(graph);
+  for (LockEdge& e : graph.edges) {
+    auto it = closure.find(e.from);
+    e.covered = it != closure.end() && it->second.count(e.to) > 0;
+  }
+  return graph;
+}
+
+// ---------------------------------------------------------------------------
+// Checks: lock-cycle, lock-order-contradiction, lock-order-undeclared.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string EdgeWitness(const LockEdge& e) {
+  std::ostringstream os;
+  if (e.observed) {
+    os << e.via_function;
+    if (!e.via_callee.empty()) os << " -> " << e.via_callee;
+    os << " at " << e.path << ":" << e.line;
+  } else {
+    os << "declared at " << e.declared_path << ":" << e.declared_line;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void CheckLockGraph(const LockGraph& graph, std::vector<Finding>* out) {
+  std::map<std::string, std::set<std::string>> declared = DeclaredClosure(graph);
+  std::map<std::string, std::vector<const LockEdge*>> adj;
+  for (const LockEdge& e : graph.edges) {
+    if (e.from != e.to) adj[e.from].push_back(&e);
+  }
+
+  // --- Self-edges: recursive acquisition, a guaranteed deadlock. ---
+  for (const LockEdge& e : graph.edges) {
+    if (e.from != e.to || !e.observed) continue;
+    out->push_back({kRuleLockCycle, e.path, e.line,
+                    e.via_function + " acquires " + e.to +
+                        " while already holding it (" + EdgeWitness(e) +
+                        "); recursive acquisition self-deadlocks"});
+  }
+
+  // --- Cycles: SCCs of the observed+declared union graph. ---
+  // Iterative Tarjan over the sorted node list for determinism.
+  std::map<std::string, int> index, low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int counter = 0;
+  for (const std::string& root : graph.nodes) {
+    if (index.count(root) > 0) continue;
+    struct VisitFrame {
+      std::string node;
+      size_t next_edge = 0;
+    };
+    std::vector<VisitFrame> visit{{root, 0}};
+    while (!visit.empty()) {
+      VisitFrame& frame = visit.back();
+      const std::string node = frame.node;
+      if (frame.next_edge == 0) {
+        index[node] = low[node] = counter++;
+        stack.push_back(node);
+        on_stack.insert(node);
+      }
+      bool descended = false;
+      const std::vector<const LockEdge*>& out_edges = adj[node];
+      while (frame.next_edge < out_edges.size()) {
+        const std::string& to = out_edges[frame.next_edge]->to;
+        ++frame.next_edge;
+        if (index.count(to) == 0) {
+          visit.push_back({to, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack.count(to) > 0) {
+          low[node] = std::min(low[node], index[to]);
+        }
+      }
+      if (descended) continue;
+      if (low[node] == index[node]) {
+        std::vector<std::string> scc;
+        while (true) {
+          std::string top = stack.back();
+          stack.pop_back();
+          on_stack.erase(top);
+          scc.push_back(top);
+          if (top == node) break;
+        }
+        if (scc.size() > 1) {
+          std::sort(scc.begin(), scc.end());
+          sccs.push_back(std::move(scc));
+        }
+      }
+      visit.pop_back();
+      if (!visit.empty()) {
+        low[visit.back().node] =
+            std::min(low[visit.back().node], low[node]);
+      }
+    }
+  }
+  std::sort(sccs.begin(), sccs.end());
+  for (const std::vector<std::string>& scc : sccs) {
+    std::set<std::string> members(scc.begin(), scc.end());
+    const LockEdge* witness = nullptr;
+    std::ostringstream detail;
+    for (const std::string& from : scc) {
+      for (const LockEdge* e : adj[from]) {
+        if (members.count(e->to) == 0) continue;
+        if (detail.tellp() > 0) detail << "; ";
+        detail << e->from << " -> " << e->to << " (" << EdgeWitness(*e)
+               << ")";
+        if (e->observed &&
+            (witness == nullptr ||
+             std::tie(e->path, e->line) <
+                 std::tie(witness->path, witness->line))) {
+          witness = e;
+        }
+      }
+    }
+    if (witness == nullptr) {
+      // Declared-only cycle: anchor at the first member's declaration.
+      for (const std::string& from : scc) {
+        for (const LockEdge* e : adj[from]) {
+          if (members.count(e->to) > 0) {
+            witness = e;
+            break;
+          }
+        }
+        if (witness != nullptr) break;
+      }
+    }
+    if (witness == nullptr) continue;
+    std::ostringstream msg;
+    msg << "lock-acquisition cycle between { ";
+    for (size_t i = 0; i < scc.size(); ++i) {
+      msg << (i == 0 ? "" : ", ") << scc[i];
+    }
+    msg << " }: " << detail.str() << "; a deadlock is reachable";
+    out->push_back({kRuleLockCycle,
+                    witness->observed ? witness->path : witness->declared_path,
+                    witness->observed ? witness->line : witness->declared_line,
+                    msg.str()});
+  }
+
+  // --- Contradicted and undeclared observed edges. ---
+  for (const LockEdge& e : graph.edges) {
+    if (!e.observed || e.from == e.to) continue;
+    auto rev = declared.find(e.to);
+    const bool contradicted =
+        rev != declared.end() && rev->second.count(e.from) > 0;
+    if (contradicted) {
+      out->push_back(
+          {kRuleLockOrderContradiction, e.path, e.line,
+           e.via_function + " acquires " + e.to + " while holding " + e.from +
+               " (" + EdgeWitness(e) + "), but FS_ACQUIRED_BEFORE declares " +
+               e.to + " before " + e.from});
+    } else if (!e.covered) {
+      std::string how =
+          e.via_callee.empty()
+              ? "acquires " + e.to
+              : "calls " + e.via_callee + ", which (transitively) acquires " +
+                    e.to;
+      out->push_back(
+          {kRuleLockOrderUndeclared, e.path, e.line,
+           e.via_function + " " + how + " while holding " + e.from +
+               ", but no FS_ACQUIRED_BEFORE path declares " + e.from +
+               " before " + e.to + "; declare the order on the " + e.from +
+               " member"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dumps.
+// ---------------------------------------------------------------------------
+
+std::string LockGraphToDot(const LockGraph& graph) {
+  std::ostringstream os;
+  os << "// fslint --dump-lock-graph artifact. Regenerate with:\n"
+     << "//   fslint --root . --dump-lock-graph docs/lock_graph.dot\n"
+     << "// Solid = observed+declared (\"transitively\" when sanctioned via a\n"
+     << "// declaration chain), dashed = declared only,\n"
+     << "// bold red = observed but undeclared (lint gate fails on these).\n"
+     << "digraph fslint_lock_graph {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const std::string& node : graph.nodes) {
+    os << "  \"" << node << "\";\n";
+  }
+  for (const LockEdge& e : graph.edges) {
+    os << "  \"" << e.from << "\" -> \"" << e.to << "\" [";
+    if (e.observed && e.declared) {
+      os << "label=\"via " << e.via_function << "\"";
+    } else if (e.observed && e.covered) {
+      os << "label=\"via " << e.via_function << " (transitively declared)\"";
+    } else if (e.declared) {
+      os << "style=dashed, label=\"declared\"";
+    } else {
+      os << "style=bold, color=red, label=\"UNDECLARED via "
+         << e.via_function << "\"";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string LockGraphToJson(const LockGraph& graph) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "{\n  \"nodes\": [";
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << escape(graph.nodes[i]) << "\"";
+  }
+  os << "],\n  \"edges\": [";
+  for (size_t i = 0; i < graph.edges.size(); ++i) {
+    const LockEdge& e = graph.edges[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"from\": \"" << escape(e.from)
+       << "\", \"to\": \"" << escape(e.to) << "\", \"observed\": "
+       << (e.observed ? "true" : "false")
+       << ", \"declared\": " << (e.declared ? "true" : "false")
+       << ", \"covered\": " << (e.covered ? "true" : "false");
+    if (e.observed) {
+      os << ", \"via\": \"" << escape(e.via_function) << "\"";
+      if (!e.via_callee.empty()) {
+        os << ", \"callee\": \"" << escape(e.via_callee) << "\"";
+      }
+      os << ", \"site\": \"" << escape(e.path) << ":" << e.line << "\"";
+    }
+    if (e.declared) {
+      os << ", \"declared_site\": \"" << escape(e.declared_path) << ":"
+         << e.declared_line << "\"";
+    }
+    os << "}";
+  }
+  os << (graph.edges.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace fslint

@@ -1,0 +1,85 @@
+// Whole-program lock-acquisition graph (docs/STATIC_ANALYSIS.md,
+// "lock-cycle" / "lock-order-*" rules).
+//
+// BuildLockGraph() runs a structural pass over every `src/` file: it
+// collects each class's Mutex/SharedMutex members with their
+// FS_ACQUIRED_BEFORE / FS_ACQUIRED_AFTER declarations, every function's
+// FS_REQUIRES / FS_ACQUIRE annotations and body, then symbolically walks
+// the bodies tracking RAII (`MutexLock lock(&chain)`) and explicit
+// (`chain.Lock()`) acquisitions plus call edges through resolvable member /
+// parameter / local chains. A fixpoint propagates "locks (transitively)
+// acquired" through the call graph, and every acquisition performed while
+// another lock is held becomes an observed edge `held -> acquired`.
+//
+// Nodes are type-granular: one node per `Class::member` mutex, not per
+// instance. That matches the runtime LockOrderChecker and keeps the graph
+// independent of object identity; instance-level cycles (two locks of the
+// same class member) surface as self-edges.
+//
+// Known, deliberate imprecision (documented in docs/STATIC_ANALYSIS.md):
+// calls through std::function members and unexpanded macros (e.g.
+// FS_FAULT_POINT's registry lookup) are invisible — declare those edges
+// with FS_ACQUIRED_BEFORE string targets; the runtime checker covers them
+// dynamically.
+
+#ifndef FSLINT_LOCK_GRAPH_H_
+#define FSLINT_LOCK_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "source_file.h"
+
+namespace fslint {
+
+// An edge in the lock-acquisition graph. `from`/`to` are "Class::member".
+// At least one of observed/declared is set; an edge can be both.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  bool observed = false;
+  bool declared = false;
+  // True when (from, to) lies in the transitive closure of the declared
+  // edges — i.e. the observed order is sanctioned, directly or via a chain
+  // of FS_ACQUIRED_BEFORE declarations.
+  bool covered = false;
+  // Observed-edge witness: the function holding `from` when `to` was
+  // acquired, the call/acquisition site, and — when the acquisition happens
+  // inside a (transitive) callee — that callee's name.
+  std::string via_function;
+  std::string via_callee;  // empty for a direct in-body acquisition
+  std::string path;
+  int line = 0;
+  // Declared-edge annotation site.
+  std::string declared_path;
+  int declared_line = 0;
+};
+
+struct LockGraph {
+  std::vector<std::string> nodes;  // sorted "Class::member"
+  std::vector<LockEdge> edges;     // sorted by (from, to)
+};
+
+// Builds the graph from the lexed+tokenized program. Only files under
+// `src/` (by repo-relative path) contribute symbols, so fixtures presented
+// under virtual src/ paths participate while tests/ and tools/ stay out.
+// Dangling FS_ACQUIRED_BEFORE/AFTER targets that name no known mutex are
+// reported as `lock-order-contradiction` findings.
+LockGraph BuildLockGraph(const std::vector<SourceFile>& files,
+                         const std::vector<std::vector<Token>>& tokens,
+                         std::vector<Finding>* out);
+
+// Reports lock-cycle, lock-order-contradiction, and lock-order-undeclared
+// findings for `graph` (see docs/STATIC_ANALYSIS.md for exact semantics).
+void CheckLockGraph(const LockGraph& graph, std::vector<Finding>* out);
+
+// Renders the graph. DOT omits file:line witnesses so the committed
+// artifact only changes when the graph itself changes (the drift gate in CI
+// diffs it); JSON carries full witness detail.
+std::string LockGraphToDot(const LockGraph& graph);
+std::string LockGraphToJson(const LockGraph& graph);
+
+}  // namespace fslint
+
+#endif  // FSLINT_LOCK_GRAPH_H_

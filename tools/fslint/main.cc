@@ -1,12 +1,17 @@
 // fslint CLI. Lints the repository's C++ sources against the project
 // invariants (docs/STATIC_ANALYSIS.md, "fslint rule catalog").
 //
-//   fslint --root <repo-root> [--json] [file...]
+//   fslint --root <repo-root> [--format=text|json|sarif] [--jobs N]
+//          [--dump-lock-graph <path>] [--no-lock-graph] [file...]
 //
 // With no explicit file list, scans src/, tests/, bench/, examples/, and
 // tools/ (excluding tools/fslint/testdata, which holds deliberate
 // violations for fslint's own tests). Exit status 1 iff there are
-// unsuppressed findings. `--json` emits machine-readable diagnostics.
+// unsuppressed findings. `--format=json` emits machine-readable
+// diagnostics (`--json` is an alias); `--format=sarif` emits SARIF 2.1.0
+// for code-scanning upload. `--dump-lock-graph` writes the whole-program
+// lock graph to <path> — Graphviz DOT if it ends in .dot, JSON otherwise —
+// and is how docs/lock_graph.dot is regenerated.
 
 #include <algorithm>
 #include <filesystem>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "lint.h"
+#include "lock_graph.h"
 
 namespace fs = std::filesystem;
 
@@ -45,11 +51,88 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Rule catalog for the SARIF tool.driver.rules array; descriptions mirror
+// docs/STATIC_ANALYSIS.md.
+struct RuleDoc {
+  const char* id;
+  const char* description;
+};
+
+constexpr RuleDoc kRules[] = {
+    {fslint::kRuleRawSync,
+     "raw std:: synchronization primitive outside the common/ wrappers"},
+    {fslint::kRuleLockedSuffix,
+     "method named *Locked must carry FS_REQUIRES(...)"},
+    {fslint::kRuleGuardedMember,
+     "mutable member of a mutex-owning class lacks FS_GUARDED_BY"},
+    {fslint::kRuleDeterminism,
+     "nondeterminism source (wall clock, raw rand, iteration order) in src/"},
+    {fslint::kRuleFaultPointRegistry,
+     "fault-point name not unique or not catalogued in docs/ROBUSTNESS.md"},
+    {fslint::kRuleHeaderHygiene,
+     "header missing include guard or using-directive at namespace scope"},
+    {fslint::kRuleSuppression,
+     "fslint: allow(...) suppression without a justification"},
+    {fslint::kRuleLockCycle,
+     "cycle in the whole-program lock-acquisition graph"},
+    {fslint::kRuleLockOrderContradiction,
+     "observed acquisition order contradicts declared FS_ACQUIRED_BEFORE/"
+     "AFTER edges (or an annotation names no known mutex)"},
+    {fslint::kRuleLockOrderUndeclared,
+     "nested acquisition with no declared order between the two mutexes"},
+    {fslint::kRuleLayering,
+     "#include violates the module DAG in tools/fslint/layering.toml"},
+};
+
+void PrintSarif(const std::vector<fslint::Finding>& findings,
+                std::ostream& out) {
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"fslint\",\n"
+      << "          \"informationUri\": "
+         "\"docs/STATIC_ANALYSIS.md\",\n"
+      << "          \"rules\": [\n";
+  for (size_t i = 0; i < std::size(kRules); ++i) {
+    out << "            {\"id\": \"" << kRules[i].id
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(kRules[i].description) << "\"}}"
+        << (i + 1 < std::size(kRules) ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const fslint::Finding& f = findings[i];
+    out << "        {\"ruleId\": \"" << JsonEscape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << JsonEscape(f.message) << "\"}, \"locations\": [{"
+        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.path)
+        << "\", \"uriBaseId\": \"%SRCROOT%\"}, \"region\": {\"startLine\": "
+        << std::max(f.line, 1) << "}}}]}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
-  bool json = false;
+  std::string format = "text";
+  std::string dump_lock_graph;
+  int jobs = 0;
+  bool lock_graph = true;
   std::vector<std::string> explicit_files;
 
   for (int i = 1; i < argc; ++i) {
@@ -57,9 +140,25 @@ int main(int argc, char** argv) {
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--json") {
-      json = true;
+      format = "json";
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "fslint: unknown format '" << format
+                  << "' (expected text, json, or sarif)\n";
+        return 2;
+      }
+    } else if (arg == "--dump-lock-graph" && i + 1 < argc) {
+      dump_lock_graph = argv[++i];
+    } else if (arg == "--no-lock-graph") {
+      lock_graph = false;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: fslint --root <repo-root> [--json] [file...]\n";
+      std::cout << "usage: fslint --root <repo-root> "
+                   "[--format=text|json|sarif] [--jobs N]\n"
+                   "              [--dump-lock-graph <path>] "
+                   "[--no-lock-graph] [file...]\n";
       return 0;
     } else {
       explicit_files.push_back(arg);
@@ -99,6 +198,8 @@ int main(int argc, char** argv) {
   }
 
   fslint::Options options;
+  options.jobs = jobs;
+  options.lock_graph = lock_graph || !dump_lock_graph.empty();
   std::string catalog_text;
   if (ReadFile(root_path / "docs" / "ROBUSTNESS.md", &catalog_text)) {
     options.fault_catalog = fslint::ParseFaultCatalog(catalog_text);
@@ -107,9 +208,47 @@ int main(int argc, char** argv) {
                  "fault-point catalog cross-check limited to uniqueness\n";
   }
 
-  std::vector<fslint::Finding> findings = fslint::Lint(files, options);
+  // Findings against the layering config itself (parse errors, undeclared
+  // deps) bypass Lint()'s suppression machinery: the config is not a lexed
+  // source file.
+  std::vector<fslint::Finding> config_findings;
+  std::string layering_text;
+  const char* kLayeringRel = "tools/fslint/layering.toml";
+  if (ReadFile(root_path / kLayeringRel, &layering_text)) {
+    options.layering = fslint::ParseLayeringConfig(kLayeringRel, layering_text,
+                                                   &config_findings);
+  } else {
+    std::cerr << "fslint: warning: " << kLayeringRel
+              << " not found; layering pass disabled\n";
+  }
 
-  if (json) {
+  fslint::LockGraph graph;
+  options.lock_graph_out = &graph;
+
+  std::vector<fslint::Finding> findings = fslint::Lint(files, options);
+  findings.insert(findings.end(), config_findings.begin(),
+                  config_findings.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const fslint::Finding& a, const fslint::Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (!dump_lock_graph.empty()) {
+    const bool dot = dump_lock_graph.size() >= 4 &&
+                     dump_lock_graph.compare(dump_lock_graph.size() - 4, 4,
+                                             ".dot") == 0;
+    std::ofstream out(dump_lock_graph, std::ios::binary);
+    if (!out) {
+      std::cerr << "fslint: cannot write " << dump_lock_graph << "\n";
+      return 2;
+    }
+    out << (dot ? fslint::LockGraphToDot(graph)
+                : fslint::LockGraphToJson(graph));
+  }
+
+  if (format == "json") {
     std::cout << "[";
     for (size_t i = 0; i < findings.size(); ++i) {
       const fslint::Finding& f = findings[i];
@@ -119,6 +258,8 @@ int main(int argc, char** argv) {
                 << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
     }
     std::cout << (findings.empty() ? "]" : "\n]") << "\n";
+  } else if (format == "sarif") {
+    PrintSarif(findings, std::cout);
   } else {
     for (const fslint::Finding& f : findings) {
       std::cout << f.path << ":" << f.line << ": error: [" << f.rule << "] "

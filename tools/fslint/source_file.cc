@@ -55,6 +55,34 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
+// Parses `include "path"` / `include <path>` out of the text following a
+// directive-introducing '#'. Comments after the closing delimiter are fine;
+// anything malformed is silently ignored (the compiler will complain).
+void ParseIncludeDirective(std::string_view rest, int line,
+                           std::vector<IncludeDirective>* out) {
+  size_t i = 0;
+  while (i < rest.size() &&
+         std::isspace(static_cast<unsigned char>(rest[i]))) {
+    ++i;
+  }
+  constexpr std::string_view kInclude = "include";
+  if (rest.compare(i, kInclude.size(), kInclude) != 0) return;
+  i += kInclude.size();
+  while (i < rest.size() &&
+         std::isspace(static_cast<unsigned char>(rest[i]))) {
+    ++i;
+  }
+  if (i >= rest.size()) return;
+  char close;
+  if (rest[i] == '"') close = '"';
+  else if (rest[i] == '<') close = '>';
+  else return;
+  size_t end = rest.find(close, i + 1);
+  if (end == std::string_view::npos) return;
+  out->push_back(
+      {line, std::string(rest.substr(i + 1, end - i - 1)), close == '>'});
+}
+
 }  // namespace
 
 SourceFile Lex(std::string path, std::string_view content) {
@@ -112,6 +140,8 @@ SourceFile Lex(std::string path, std::string_view content) {
         case State::kCode: {
           if (!line_has_token && c == '#') {
             in_directive = true;
+            ParseIncludeDirective(std::string_view(raw).substr(i + 1),
+                                  line_no, &file.includes);
           }
           if (c == '/' && next == '/') {
             state = State::kLineComment;
@@ -225,12 +255,27 @@ SourceFile Lex(std::string path, std::string_view content) {
 
 std::vector<Token> Tokenize(const SourceFile& file) {
   std::vector<Token> tokens;
+  // String literals are spaces in the code view; re-emit each as a single
+  // is_string token at its source position so structural passes can read
+  // annotation arguments. `file.strings` is in source order already.
+  size_t si = 0;
+  auto flush_strings = [&](int line_no, size_t col) {
+    while (si < file.strings.size() &&
+           (file.strings[si].line < line_no ||
+            (file.strings[si].line == line_no &&
+             static_cast<size_t>(file.strings[si].col) <= col))) {
+      const StringLiteral& s = file.strings[si++];
+      tokens.push_back({s.value, s.line, s.col, /*is_string=*/true});
+    }
+  };
   for (size_t li = 0; li < file.code_lines.size(); ++li) {
     const std::string& line = file.code_lines[li];
     const int line_no = static_cast<int>(li) + 1;
     size_t i = 0;
     while (i < line.size()) {
+      flush_strings(line_no, i);
       char c = line[i];
+      const int col = static_cast<int>(i);
       if (std::isspace(static_cast<unsigned char>(c))) {
         ++i;
         continue;
@@ -238,23 +283,25 @@ std::vector<Token> Tokenize(const SourceFile& file) {
       if (IsIdentChar(c)) {
         size_t start = i;
         while (i < line.size() && IsIdentChar(line[i])) ++i;
-        tokens.push_back({line.substr(start, i - start), line_no});
+        tokens.push_back({line.substr(start, i - start), line_no, col, false});
         continue;
       }
       if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
-        tokens.push_back({"::", line_no});
+        tokens.push_back({"::", line_no, col, false});
         i += 2;
         continue;
       }
       if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
-        tokens.push_back({"->", line_no});
+        tokens.push_back({"->", line_no, col, false});
         i += 2;
         continue;
       }
-      tokens.push_back({std::string(1, c), line_no});
+      tokens.push_back({std::string(1, c), line_no, col, false});
       ++i;
     }
+    flush_strings(line_no, line.size());
   }
+  flush_strings(static_cast<int>(file.code_lines.size()) + 1, 0);
   return tokens;
 }
 

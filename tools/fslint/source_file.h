@@ -34,6 +34,14 @@ struct Suppression {
   int line = 0;
 };
 
+// One `#include` directive. `angled` distinguishes `<...>` system includes
+// from `"..."` project includes; the layering pass only judges the latter.
+struct IncludeDirective {
+  int line = 0;
+  std::string path;
+  bool angled = false;
+};
+
 struct SourceFile {
   std::string path;  // repo-relative, '/'-separated
 
@@ -43,6 +51,7 @@ struct SourceFile {
   std::vector<std::string> code_lines;
 
   std::vector<StringLiteral> strings;
+  std::vector<IncludeDirective> includes;
 
   // line -> suppressions declared on that line.
   std::map<int, std::vector<Suppression>> suppressions;
@@ -59,11 +68,17 @@ struct SourceFile {
 // Lexes `content` (the full text of the file at `path`).
 SourceFile Lex(std::string path, std::string_view content);
 
-// A token from the code view: an identifier/number, or a punctuator
-// (multi-char `::` and `->` are single tokens; everything else one char).
+// A token from the code view: an identifier/number, a punctuator (multi-char
+// `::` and `->` are single tokens; everything else one char), or — with
+// `is_string` set — the value of a string literal at its source position.
+// String tokens let structural passes read annotation arguments like
+// `FS_ACQUIRED_BEFORE("spanner::Database::data_mu_")`; token-pattern rules
+// must skip them so literal text never matches a code pattern.
 struct Token {
   std::string text;
   int line = 0;
+  int col = 0;  // 0-based column of the token's first character
+  bool is_string = false;
 };
 
 std::vector<Token> Tokenize(const SourceFile& file);

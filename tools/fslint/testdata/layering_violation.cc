@@ -1,0 +1,18 @@
+// Layering fixture: presented to the engine as a file inside src/spanner/,
+// whose declared dependency set is { common } (plus itself). The frontend/
+// and rtcache/ includes climb the module DAG and must each be flagged;
+// common/, self, system, and non-module includes are all legal.
+
+#include <vector>
+
+#include "common/status.h"
+#include "frontend/frontend.h"
+#include "rtcache/changelog.h"
+#include "spanner/truetime.h"
+#include "not_a_module/helper.h"
+
+namespace fixture {
+
+int Placeholder() { return 0; }
+
+}  // namespace fixture

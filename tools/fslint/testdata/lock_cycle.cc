@@ -1,0 +1,26 @@
+// Deliberate lock-order cycle for the lock-cycle rule: Forward() nests
+// a_ -> b_ while Backward() nests b_ -> a_, so the observed acquisition
+// graph has a two-node strongly connected component. Both nestings are also
+// undeclared (no FS_ACQUIRED_BEFORE anywhere), so the engine must report
+// one lock-cycle and two lock-order-undeclared findings.
+
+namespace fixture {
+
+class Pair {
+ public:
+  void Forward() {
+    MutexLock a(&a_);
+    MutexLock b(&b_);
+  }
+
+  void Backward() {
+    MutexLock b(&b_);
+    MutexLock a(&a_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace fixture

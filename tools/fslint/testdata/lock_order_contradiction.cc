@@ -1,0 +1,23 @@
+// Deliberate contradiction for the lock-order-contradiction rule: a_ is
+// declared FS_ACQUIRED_BEFORE b_, but Backward() acquires b_ first and a_
+// second. The observed edge b_ -> a_ contradicts the declaration (and the
+// declared+observed union therefore also forms a cycle). dangling_ carries
+// an annotation naming a mutex that does not exist, the other
+// lock-order-contradiction variant.
+
+namespace fixture {
+
+class Ordered {
+ public:
+  void Backward() {
+    MutexLock second(&b_);
+    MutexLock first(&a_);
+  }
+
+ private:
+  Mutex a_ FS_ACQUIRED_BEFORE("fixture::Ordered::b_");
+  Mutex b_;
+  Mutex dangling_ FS_ACQUIRED_BEFORE("fixture::Nonexistent::mu_");
+};
+
+}  // namespace fixture

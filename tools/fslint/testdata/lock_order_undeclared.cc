@@ -1,0 +1,45 @@
+// Fixtures for the lock-order-undeclared rule. Nest() nests two mutexes
+// directly with no declared order; Outer() picks up its second lock inside
+// a callee, so the finding's witness goes through the call edge.
+// AcquireAudited() nests a third pair under a justified suppression and
+// must stay silent.
+
+namespace fixture {
+
+class Undeclared {
+ public:
+  void Nest() {
+    MutexLock first(&first_);
+    MutexLock second(&second_);
+  }
+
+  void AcquireAudited() {
+    MutexLock audit(&audited_);
+    // fslint: allow(lock-order-undeclared) -- fixture: order vetted by the runtime checker
+    MutexLock log(&log_);
+  }
+
+ private:
+  Mutex first_;
+  Mutex second_;
+  Mutex audited_;
+  Mutex log_;
+};
+
+class Caller {
+ public:
+  void Outer() {
+    MutexLock hold(&outer_);
+    Leaf();
+  }
+
+  void Leaf() {
+    MutexLock inner(&inner_);
+  }
+
+ private:
+  Mutex outer_;
+  Mutex inner_;
+};
+
+}  // namespace fixture

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Static-analysis gate, in two stages:
+# Static-analysis gate, in three stages:
 #
-#   1. fslint (tools/fslint) — the project-invariant linter. Dependency-free
-#      C++20, so it builds and runs under plain GCC and NEVER skips.
-#   2. clang-tidy (config: .clang-tidy) over every translation unit in src/.
+#   1. fslint (tools/fslint) — the project-invariant linter, including the
+#      whole-program lock-graph and layering passes. Dependency-free C++20,
+#      so it builds and runs under plain GCC and NEVER skips.
+#   2. lock-graph drift — the committed docs/lock_graph.dot must match a
+#      fresh `fslint --dump-lock-graph` of the tree.
+#   3. clang-tidy (config: .clang-tidy) over every translation unit in src/.
 #      On machines without clang tooling this stage reports SKIPPED and the
 #      script's verdict rests on fslint alone; set FS_REQUIRE_TOOLS=1 (as CI's
 #      tidy job does) to make a missing clang-tidy a hard failure.
@@ -38,13 +41,26 @@ if [[ -z "$fslint_bin" ]]; then
   "$cxx" -std=c++20 -O1 -o "$fslint_bin" tools/fslint/*.cc || exit 1
 fi
 
-if "$fslint_bin" --root "$repo_root"; then
+# Needs the .dot suffix: the dump format is keyed off the file extension.
+fresh_dot="$(mktemp --suffix=.dot)"
+if "$fslint_bin" --root "$repo_root" --dump-lock-graph "$fresh_dot"; then
   fslint_verdict="OK"
 else
   fslint_verdict="FAIL"
 fi
 
-# --- Stage 2: clang-tidy (skips without clang tooling) ----------------------
+# --- Stage 2: lock-graph drift ----------------------------------------------
+
+if diff -u docs/lock_graph.dot "$fresh_dot"; then
+  lock_graph_verdict="OK"
+else
+  echo "FAIL: docs/lock_graph.dot is stale; regenerate with" \
+       "'fslint --root . --dump-lock-graph docs/lock_graph.dot'" >&2
+  lock_graph_verdict="FAIL"
+fi
+rm -f "$fresh_dot"
+
+# --- Stage 3: clang-tidy (skips without clang tooling) ----------------------
 
 tidy_verdict="SKIPPED"
 
@@ -108,8 +124,9 @@ run_clang_tidy "${1:-}"
 
 # --- Combined verdict -------------------------------------------------------
 
-echo "static-analysis: fslint=$fslint_verdict clang-tidy=$tidy_verdict"
-if [[ "$fslint_verdict" != "OK" || "$tidy_verdict" == "FAIL" ]]; then
+echo "static-analysis: fslint=$fslint_verdict lock-graph=$lock_graph_verdict clang-tidy=$tidy_verdict"
+if [[ "$fslint_verdict" != "OK" || "$lock_graph_verdict" != "OK" || \
+      "$tidy_verdict" == "FAIL" ]]; then
   exit 1
 fi
 exit 0
