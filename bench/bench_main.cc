@@ -1,0 +1,97 @@
+#include "bench_main.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/metrics.h"
+
+namespace firestore::bench {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Fixed-precision rendering keeps the file byte-stable across runs.
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string RenderParams(const BenchReport::Params& params) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "\"" << Escape(params[i].first) << "\": \""
+        << Escape(params[i].second) << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+bool SmokeMode() {
+  const char* v = std::getenv("BENCH_SMOKE");
+  return v != nullptr && *v != '\0';
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::AddSeries(const std::string& series, const Params& params,
+                            const Histogram& latency) {
+  std::ostringstream out;
+  out << "{\"series\": \"" << Escape(series)
+      << "\", \"params\": " << RenderParams(params)
+      << ", \"count\": " << latency.count()
+      << ", \"mean\": " << Num(latency.Mean())
+      << ", \"p50\": " << Num(latency.Quantile(0.5))
+      << ", \"p95\": " << Num(latency.Quantile(0.95))
+      << ", \"p99\": " << Num(latency.Quantile(0.99))
+      << ", \"min\": " << Num(latency.min())
+      << ", \"max\": " << Num(latency.max()) << "}";
+  entries_.push_back(out.str());
+}
+
+void BenchReport::AddScalar(const std::string& series, const Params& params,
+                            double value) {
+  std::ostringstream out;
+  out << "{\"series\": \"" << Escape(series)
+      << "\", \"params\": " << RenderParams(params)
+      << ", \"value\": " << Num(value) << "}";
+  entries_.push_back(out.str());
+}
+
+std::string BenchReport::Finish() {
+  std::string dir = ".";
+  if (const char* env = std::getenv("BENCH_OUTPUT_DIR");
+      env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << Escape(name_) << "\",\n  \"entries\": [\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out << "    " << entries_[i] << (i + 1 < entries_.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("\nwrote %s\n", path.c_str());
+  std::printf("\n=== metrics snapshot ===\n%s",
+              MetricRegistry::Global().Snapshot().ToText().c_str());
+  return path;
+}
+
+}  // namespace firestore::bench

@@ -1,0 +1,53 @@
+// Shared benchmark reporting harness (docs/OBSERVABILITY.md).
+//
+// Each bench binary keeps its human-readable stdout tables and additionally
+// records measured distributions into a BenchReport, which writes a
+// machine-readable BENCH_<name>.json and prints the process-wide metrics
+// snapshot on Finish(). The JSON is fully deterministic for a fixed seed
+// (no wall-clock content), so CI can diff two same-seed runs byte-for-byte.
+
+#ifndef FIRESTORE_BENCH_BENCH_MAIN_H_
+#define FIRESTORE_BENCH_BENCH_MAIN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace firestore::bench {
+
+// True when $BENCH_SMOKE is set and non-empty: binaries should run a
+// reduced parameter sweep suitable for CI smoke runs.
+bool SmokeMode();
+
+class BenchReport {
+ public:
+  // Sweep parameters that produced a measurement, e.g.
+  // {{"workload", "A"}, {"qps", "800"}}. Order is preserved in the JSON.
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  explicit BenchReport(std::string name);
+
+  // One measured latency distribution (micros) under `series`.
+  void AddSeries(const std::string& series, const Params& params,
+                 const Histogram& latency);
+
+  // One scalar measurement, for benches that report a single number per
+  // configuration rather than a distribution.
+  void AddScalar(const std::string& series, const Params& params,
+                 double value);
+
+  // Writes BENCH_<name>.json into $BENCH_OUTPUT_DIR (default: the working
+  // directory), prints the process-wide metrics snapshot to stdout, and
+  // returns the path written.
+  std::string Finish();
+
+ private:
+  std::string name_;
+  std::vector<std::string> entries_;  // pre-rendered JSON objects
+};
+
+}  // namespace firestore::bench
+
+#endif  // FIRESTORE_BENCH_BENCH_MAIN_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/retry.h"
 
 namespace firestore::backend {
@@ -65,6 +66,8 @@ StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
   int& current = inflight_[database_id];
   if (limit > 0 && current >= limit) {
     ++rejected_;
+    FS_METRIC_COUNTER_FOR("backend.admission.rejections", database_id)
+        .Increment();
     return WithRetryAfter(
         ResourceExhaustedError("database over its in-flight RPC limit: " +
                                database_id),

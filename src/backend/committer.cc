@@ -7,6 +7,7 @@
 #include "common/checksum.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "firestore/codec/document_codec.h"
 #include "firestore/index/extractor.h"
 #include "firestore/index/layout.h"
@@ -194,6 +195,9 @@ StatusOr<CommitResponse> Committer::RunTransaction(
     const std::vector<TriggerDefinition>& triggers, int max_attempts) {
   RetryPolicy policy = options_.retry_policy;
   policy.max_attempts = max_attempts;
+  // Attribute this loop's retry metrics to the committer regardless of the
+  // configured policy's label (retry.attempts{backend.run_transaction}).
+  policy.name = "backend.run_transaction";
   RetryState retry(policy, clock_, options_.retry_seed);
   while (true) {
     auto txn = spanner_->BeginTransaction();
@@ -219,6 +223,7 @@ StatusOr<CommitResponse> Committer::CommitInternal(
     const std::vector<Mutation>& mutations,
     const std::vector<TriggerDefinition>& triggers,
     const rules::RuleSet* rules, const rules::AuthContext* auth) {
+  FS_SPAN("backend.commit");
   if (mutations.empty()) {
     return InvalidArgumentError("commit with no mutations");
   }
@@ -233,24 +238,27 @@ StatusOr<CommitResponse> Committer::CommitInternal(
   std::map<std::string, std::optional<Document>> state;   // by canonical name
   std::map<std::string, std::optional<Document>> original;
   std::map<std::string, ResourcePath> paths;
-  for (const Mutation& m : mutations) {
-    std::string key = m.name.CanonicalString();
-    if (state.count(key) != 0) continue;
-    Timestamp version = 0;
-    ASSIGN_OR_RETURN(
-        spanner::RowValue row,
-        txn.Read(index::kEntitiesTable,
-                 index::EntityKey(database_id, m.name),
-                 spanner::LockMode::kExclusive, &version));
-    std::optional<Document> doc;
-    if (row.has_value()) {
-      ASSIGN_OR_RETURN(Document parsed, codec::ParseDocument(*row));
-      codec::ResolveDocumentTimestamps(parsed, version);
-      doc = std::move(parsed);
+  {
+    FS_SPAN("backend.commit.read_set");
+    for (const Mutation& m : mutations) {
+      std::string key = m.name.CanonicalString();
+      if (state.count(key) != 0) continue;
+      Timestamp version = 0;
+      ASSIGN_OR_RETURN(
+          spanner::RowValue row,
+          txn.Read(index::kEntitiesTable,
+                   index::EntityKey(database_id, m.name),
+                   spanner::LockMode::kExclusive, &version));
+      std::optional<Document> doc;
+      if (row.has_value()) {
+        ASSIGN_OR_RETURN(Document parsed, codec::ParseDocument(*row));
+        codec::ResolveDocumentTimestamps(parsed, version);
+        doc = std::move(parsed);
+      }
+      state[key] = doc;
+      original[key] = std::move(doc);
+      paths.emplace(key, m.name);
     }
-    state[key] = doc;
-    original[key] = std::move(doc);
-    paths.emplace(key, m.name);
   }
 
   // Transactionally-consistent lookup for rules get()/exists().
@@ -346,6 +354,10 @@ StatusOr<CommitResponse> Committer::CommitInternal(
     change.deleted = !new_doc.has_value();
     change.new_doc = new_doc;
     change.old_doc = old_doc;
+    // The commit's trace context travels with the change through the
+    // realtime pipeline (Changelog buffer -> QueryMatcher -> Frontend), so
+    // the async notification leg joins this trace.
+    change.trace = CurrentTraceContext();
     response.changes.push_back(std::move(change));
   }
   if (names.empty()) {
@@ -371,6 +383,7 @@ StatusOr<CommitResponse> Committer::CommitInternal(
   Timestamp min_ts = 0;
   uint64_t prepare_token = 0;
   if (realtime_ != nullptr) {
+    FS_SPAN("backend.commit.prepare");
     if (Status fault = FS_FAULT_POINT("committer.prepare"); !fault.ok()) {
       txn.Abort();
       return fault;
@@ -393,7 +406,10 @@ StatusOr<CommitResponse> Committer::CommitInternal(
     }
     return fault;
   }
-  StatusOr<spanner::CommitResult> commit = txn.Commit(min_ts, max_ts);
+  StatusOr<spanner::CommitResult> commit = [&] {
+    FS_SPAN("backend.commit.spanner");
+    return txn.Commit(min_ts, max_ts);
+  }();
   if (!commit.ok()) {
     if (realtime_ != nullptr) {
       realtime_->Accept(prepare_token, WriteOutcome::kFailed, 0, {});
@@ -415,6 +431,7 @@ StatusOr<CommitResponse> Committer::CommitInternal(
 
   // Step 7: Accept.
   if (realtime_ != nullptr) {
+    FS_SPAN("backend.commit.accept");
     if (FS_FAULT_TRIGGERED("committer.outcome_unknown")) {
       realtime_->Accept(prepare_token, WriteOutcome::kUnknown, 0, {});
       // The commit actually succeeded; the client sees a timeout.

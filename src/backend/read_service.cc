@@ -1,5 +1,7 @@
 #include "backend/read_service.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "firestore/codec/document_codec.h"
 #include "firestore/index/layout.h"
 #include "firestore/query/planner.h"
@@ -30,6 +32,8 @@ StatusOr<std::optional<Document>> ReadService::GetDocument(
     const std::string& database_id, const ResourcePath& name,
     Timestamp read_ts, const rules::RuleSet* rules,
     const rules::AuthContext* auth) {
+  FS_SPAN("backend.read.get");
+  FS_METRIC_COUNTER("backend.read.gets").Increment();
   if (!name.IsDocumentPath()) {
     return InvalidArgumentError("'" + name.CanonicalString() +
                                 "' is not a document path");
@@ -56,6 +60,8 @@ StatusOr<RunQueryResult> ReadService::RunQuery(
     const std::string& database_id, index::IndexCatalog& catalog,
     const query::Query& q, Timestamp read_ts, const rules::RuleSet* rules,
     const rules::AuthContext* auth) {
+  FS_SPAN("backend.read.query");
+  FS_METRIC_COUNTER("backend.read.queries").Increment();
   if (read_ts == 0) read_ts = spanner_->StrongReadTimestamp();
   // "The execution of a non-real-time query starts by verifying the
   // security rules for the collection specified in the query" (§IV-D3).

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "firestore/model/document.h"
 #include "spanner/truetime.h"
 
@@ -64,6 +65,11 @@ struct DocumentChange {
   bool deleted = false;
   std::optional<model::Document> new_doc;  // set unless deleted
   std::optional<model::Document> old_doc;  // set unless insert
+  // The originating commit's trace context (inactive unless the commit ran
+  // under a Trace). Rides with the change through the Changelog buffer and
+  // QueryMatcher fanout so the async notification leg lands in the same
+  // trace as the write ack (common/trace.h).
+  Trace::Context trace;
 };
 
 enum class WriteOutcome {

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/metrics.h"
+
 namespace firestore {
 
 FaultRegistry& FaultRegistry::Global() {
@@ -113,6 +115,17 @@ void FaultRegistry::ApplyLatency(Micros latency) {
   SleepFor(latency);
 }
 
+namespace {
+
+// Single declaration site (metric-name-registry) shared by both evaluate
+// paths. Callers invoke it outside the registry's mu_ so the MetricRegistry
+// lock never nests inside it.
+void RecordFire(std::string_view name) {
+  FS_METRIC_COUNTER_FOR("fault.fires", name).Increment();
+}
+
+}  // namespace
+
 Status FaultRegistry::Evaluate(std::string_view name) {
   FaultAction action;
   {
@@ -121,6 +134,8 @@ Status FaultRegistry::Evaluate(std::string_view name) {
   }
   // The action is applied outside the registry lock so a latency action
   // cannot stall other fault points (or invert lock orders via the clock).
+  // The metric mirror lives out here too (see RecordFire).
+  RecordFire(name);
   switch (action.kind) {
     case FaultAction::Kind::kReturnStatus:
       return action.status;
@@ -139,6 +154,7 @@ bool FaultRegistry::EvaluateTriggered(std::string_view name) {
     MutexLock lock(&mu_);
     if (!FireLocked(name, &action)) return false;
   }
+  RecordFire(name);
   if (action.kind == FaultAction::Kind::kLatency) {
     ApplyLatency(action.latency);
   }

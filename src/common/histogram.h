@@ -31,14 +31,17 @@ class Histogram {
   // "count=..., mean=..., p50=..., p95=..., p99=..., max=..." summary line.
   std::string Summary() const;
 
- private:
+  // Bucket math, shared with the lock-free metrics::Timer (common/metrics.h)
+  // so both report identically-bucketed percentiles.
   static constexpr int kSubBuckets = 64;  // per power-of-two range
   static constexpr int kRanges = 40;      // covers up to ~2^40
+  static constexpr int kBucketCount = kSubBuckets * kRanges;
 
   static int BucketFor(double value);
   static double BucketMidpoint(int bucket);
 
-  std::vector<uint32_t> buckets_;
+ private:
+ std::vector<uint32_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0;
   double min_ = 0;

@@ -1,0 +1,257 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace firestore {
+namespace {
+
+// Escapes a string for JSON output (names/labels are plain identifiers in
+// practice, but labels carry tenant ids which may contain '/').
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Fixed-precision double formatting: snapshots must be byte-identical
+// across runs, and default ostream precision is locale-stable but verbose.
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Timer::Timer() : buckets_(Histogram::kBucketCount) {}
+
+void Timer::Record(Micros value) {
+  if (value < 0) value = 0;
+  const int bucket = Histogram::BucketFor(static_cast<double>(value));
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // First sample initializes min/max; later samples CAS toward the extreme.
+  // count_ is incremented before this point, so an observer may briefly see
+  // count=1 with min=0 on the first record — acceptable for monitoring.
+  if (count_.load(std::memory_order_relaxed) == 1) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  Micros seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Timer::Mean() const {
+  const int64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+double Timer::Quantile(double q) const {
+  // Mirrors Histogram::Quantile over the atomic buckets: walk the buckets to
+  // the target rank, report the bucket midpoint clamped to [min, max].
+  const int64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double lo = static_cast<double>(min_.load(std::memory_order_relaxed));
+  const double hi = static_cast<double>(max_.load(std::memory_order_relaxed));
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(n - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < Histogram::kBucketCount; ++b) {
+    seen += buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    if (seen > target) {
+      return std::clamp(Histogram::BucketMidpoint(b), lo, hi);
+    }
+  }
+  return hi;
+}
+
+void Timer::ResetForTest() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name,
+                                    std::string_view label) {
+  Key key{std::string(name), std::string(label)};
+  {
+    ReaderMutexLock lock(&mu_);
+    auto it = counters_.find(key);
+    if (it != counters_.end()) return it->second;
+  }
+  WriterMutexLock lock(&mu_);
+  return counters_[key];
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name,
+                                std::string_view label) {
+  Key key{std::string(name), std::string(label)};
+  {
+    ReaderMutexLock lock(&mu_);
+    auto it = gauges_.find(key);
+    if (it != gauges_.end()) return it->second;
+  }
+  WriterMutexLock lock(&mu_);
+  return gauges_[key];
+}
+
+Timer& MetricRegistry::GetTimer(std::string_view name,
+                                std::string_view label) {
+  Key key{std::string(name), std::string(label)};
+  {
+    ReaderMutexLock lock(&mu_);
+    auto it = timers_.find(key);
+    if (it != timers_.end()) return it->second;
+  }
+  WriterMutexLock lock(&mu_);
+  return timers_[key];
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  ReaderMutexLock lock(&mu_);
+  for (const auto& [key, counter] : counters_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = key.first;
+    s.label = key.second;
+    s.value = counter.value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = key.first;
+    s.label = key.second;
+    s.value = gauge.value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [key, timer] : timers_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kTimer;
+    s.name = key.first;
+    s.label = key.second;
+    s.value = timer.count();
+    s.mean = timer.Mean();
+    s.p50 = timer.Quantile(0.5);
+    s.p95 = timer.Quantile(0.95);
+    s.p99 = timer.Quantile(0.99);
+    s.min = timer.min();
+    s.max = timer.max();
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.label < b.label;
+            });
+  return snap;
+}
+
+void MetricRegistry::ResetForTest() {
+  WriterMutexLock lock(&mu_);
+  for (auto& [key, counter] : counters_) {
+    counter.value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [key, gauge] : gauges_) {
+    gauge.value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [key, timer] : timers_) timer.ResetForTest();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  for (const MetricSample& s : samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "counter ";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "gauge ";
+        break;
+      case MetricSample::Kind::kTimer:
+        os << "timer ";
+        break;
+    }
+    os << s.name;
+    if (!s.label.empty()) os << "{" << s.label << "}";
+    if (s.kind == MetricSample::Kind::kTimer) {
+      os << " count=" << s.value << " mean=" << FormatDouble(s.mean)
+         << " p50=" << FormatDouble(s.p50) << " p95=" << FormatDouble(s.p95)
+         << " p99=" << FormatDouble(s.p99) << " min=" << s.min
+         << " max=" << s.max;
+    } else {
+      os << " " << s.value;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"kind\": \"";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "counter";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "gauge";
+        break;
+      case MetricSample::Kind::kTimer:
+        os << "timer";
+        break;
+    }
+    os << "\", \"name\": \"" << JsonEscape(s.name) << "\"";
+    if (!s.label.empty()) os << ", \"label\": \"" << JsonEscape(s.label) << "\"";
+    if (s.kind == MetricSample::Kind::kTimer) {
+      os << ", \"count\": " << s.value << ", \"mean\": " << FormatDouble(s.mean)
+         << ", \"p50\": " << FormatDouble(s.p50)
+         << ", \"p95\": " << FormatDouble(s.p95)
+         << ", \"p99\": " << FormatDouble(s.p99) << ", \"min\": " << s.min
+         << ", \"max\": " << s.max;
+    } else {
+      os << ", \"value\": " << s.value;
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace firestore

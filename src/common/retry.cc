@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/metrics.h"
+
 namespace firestore {
 
 namespace {
@@ -12,6 +14,12 @@ constexpr std::string_view kLockWaitTimeout = "lock wait timeout";
 
 bool Contains(std::string_view haystack, std::string_view needle) {
   return haystack.find(needle) != std::string_view::npos;
+}
+
+// Single declaration site (metric-name-registry) shared by both give-up
+// legs: budget exhausted and deadline overrun.
+void RecordGiveUp(const char* policy_name) {
+  FS_METRIC_COUNTER_FOR("retry.give_ups", policy_name).Increment();
 }
 
 }  // namespace
@@ -84,7 +92,13 @@ bool RetryState::ShouldRetryClassified(bool retryable, const Status& s,
   if (delay_out != nullptr) *delay_out = 0;
   if (s.ok() || !retryable) return false;
   ++attempts_;
-  if (attempts_ >= policy_.max_attempts) return false;
+  // One retryable failure observed = one attempt counted, whether or not a
+  // retry follows; chaos tests cross-check this against fault-point fires.
+  FS_METRIC_COUNTER_FOR("retry.attempts", policy_.name).Increment();
+  if (attempts_ >= policy_.max_attempts) {
+    RecordGiveUp(policy_.name);
+    return false;
+  }
   Micros delay = NextBackoff(policy_, rng_, &prev_backoff_);
   if (std::optional<Micros> hint = RetryAfterHint(s); hint.has_value()) {
     delay = std::max(delay, *hint);
@@ -92,6 +106,7 @@ bool RetryState::ShouldRetryClassified(bool retryable, const Status& s,
   }
   if (policy_.deadline > 0 && clock_ != nullptr &&
       clock_->NowMicros() + delay > policy_.deadline) {
+    RecordGiveUp(policy_.name);
     return false;
   }
   if (delay_out != nullptr) *delay_out = delay;

@@ -32,6 +32,10 @@
 namespace firestore {
 
 struct RetryPolicy {
+  // Metric label for this policy: RetryState records "retry.attempts" /
+  // "retry.give_ups" counters labeled with this name (docs/OBSERVABILITY.md),
+  // so chaos runs can attribute retries to the loop that performed them.
+  const char* name = "default";
   // Total attempts, including the first (1 = no retries).
   int max_attempts = 5;
   Micros initial_backoff = 10'000;   // 10 ms

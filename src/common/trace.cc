@@ -1,0 +1,140 @@
+#include "common/trace.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace firestore {
+namespace {
+
+// The thread's ambient trace. The shared_ptr keeps the state alive while
+// installed; ScopedSpan reads the raw pointer (stack discipline guarantees
+// the installing TraceScope outlives inner spans on the same thread).
+struct Ambient {
+  std::shared_ptr<internal::TraceState> state;
+  int64_t parent_id = 0;
+};
+
+Ambient& ThreadAmbient() {
+  thread_local Ambient ambient;
+  return ambient;
+}
+
+// Opens a span and returns its id. Ids are assigned in push order under the
+// trace mutex, so spans[id - 1] is the span with that id.
+int64_t OpenSpan(internal::TraceState* state, const char* name,
+                 int64_t parent_id) {
+  const Micros now = state->clock->NowMicros();
+  MutexLock lock(&state->mu);
+  TraceSpan span;
+  span.id = state->next_id++;
+  span.parent_id = parent_id;
+  span.name = name;
+  span.start = now;
+  state->spans.push_back(std::move(span));
+  return state->spans.back().id;
+}
+
+void CloseSpan(internal::TraceState* state, int64_t id) {
+  const Micros now = state->clock->NowMicros();
+  MutexLock lock(&state->mu);
+  TraceSpan& span = state->spans[static_cast<size_t>(id - 1)];
+  if (span.end == 0) span.end = now;
+}
+
+}  // namespace
+
+Trace::Trace(const Clock* clock, std::string name)
+    : state_(std::make_shared<internal::TraceState>(clock)) {
+  OpenSpan(state_.get(), name.c_str(), /*parent_id=*/0);
+}
+
+Trace::~Trace() { Finish(); }
+
+void Trace::Finish() { CloseSpan(state_.get(), kRootId); }
+
+Trace::Context Trace::context() const { return Context{state_, kRootId}; }
+
+std::vector<TraceSpan> Trace::spans() const {
+  MutexLock lock(&state_->mu);
+  return state_->spans;
+}
+
+std::string Trace::Dump() const {
+  const std::vector<TraceSpan> spans = this->spans();
+  std::map<int64_t, std::vector<const TraceSpan*>> children;
+  for (const TraceSpan& span : spans) {
+    children[span.parent_id].push_back(&span);
+  }
+  const Micros origin = spans.empty() ? 0 : spans.front().start;
+  std::ostringstream os;
+  os << "trace \"" << (spans.empty() ? "?" : spans.front().name) << "\" ("
+     << spans.size() << " spans)\n";
+  // Children are already in id (open) order within each parent bucket.
+  // Iterative DFS keeps this dependency-free of recursion depth limits.
+  struct Frame {
+    const TraceSpan* span;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  auto push_children = [&](int64_t parent, int depth) {
+    auto it = children.find(parent);
+    if (it == children.end()) return;
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+      stack.push_back(Frame{*rit, depth});
+    }
+  };
+  push_children(0, 1);
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < frame.depth; ++i) os << "  ";
+    os << frame.span->name << "  +" << (frame.span->start - origin) << "us";
+    if (frame.span->end != 0) {
+      os << " dur=" << (frame.span->end - frame.span->start) << "us";
+    } else {
+      os << " (open)";
+    }
+    os << "\n";
+    push_children(frame.span->id, frame.depth + 1);
+  }
+  return os.str();
+}
+
+TraceScope::TraceScope(const Trace& trace) : TraceScope(trace.context()) {}
+
+TraceScope::TraceScope(const Trace::Context& context) {
+  Ambient& ambient = ThreadAmbient();
+  saved_state_ = std::move(ambient.state);
+  saved_parent_ = ambient.parent_id;
+  ambient.state = context.state;
+  ambient.parent_id = context.parent_id;
+}
+
+TraceScope::~TraceScope() {
+  Ambient& ambient = ThreadAmbient();
+  ambient.state = std::move(saved_state_);
+  ambient.parent_id = saved_parent_;
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  Ambient& ambient = ThreadAmbient();
+  if (ambient.state == nullptr) return;  // untraced: no-op
+  state_ = ambient.state.get();
+  saved_parent_ = ambient.parent_id;
+  id_ = OpenSpan(state_, name, saved_parent_);
+  ambient.parent_id = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (state_ == nullptr) return;
+  CloseSpan(state_, id_);
+  ThreadAmbient().parent_id = saved_parent_;
+}
+
+Trace::Context CurrentTraceContext() {
+  Ambient& ambient = ThreadAmbient();
+  return Trace::Context{ambient.state, ambient.parent_id};
+}
+
+}  // namespace firestore

@@ -1,0 +1,153 @@
+// Request-scoped tracing (docs/OBSERVABILITY.md).
+//
+// A Trace owns a tree of timed spans for one logical request. Span timing
+// comes from the injected Clock (common/clock.h) — never a wall clock — so
+// traces are deterministic in tests and legal under the fslint determinism
+// rule.
+//
+// Propagation model:
+//  - Synchronous: a thread carries an *ambient* context (thread-local).
+//    TraceScope installs a trace (or a resumed Context) for its lifetime;
+//    FS_SPAN(name) opens a child span of the innermost open span, or is a
+//    no-op (one thread-local load and branch) when no trace is ambient —
+//    instrumentation sites cost nothing on untraced requests.
+//  - Asynchronous: CurrentTraceContext() captures the ambient context into a
+//    copyable Trace::Context. The context can be stored with queued work
+//    (e.g. a DocumentChange buffered in the rtcache Changelog) and resumed
+//    later with TraceScope on any thread; the shared trace state stays alive
+//    as long as any context references it, even after the Trace object is
+//    gone. This is how a commit's trace follows the realtime pipeline:
+//    commit → Changelog fanout → QueryMatcher → Frontend delivery, so one
+//    trace shows write-ack AND notification latency (paper Fig. 9).
+//
+// FS_SPAN names are catalogued: the fslint metric-name-registry rule
+// requires every span name under src/ to be unique and listed in
+// docs/OBSERVABILITY.md.
+
+#ifndef FIRESTORE_COMMON_TRACE_H_
+#define FIRESTORE_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+
+namespace firestore {
+
+// One completed (or still-open) span. `end == 0` means still open. Ids are
+// 1-based and unique within a trace; the root span has parent_id 0.
+struct TraceSpan {
+  int64_t id = 0;
+  int64_t parent_id = 0;
+  std::string name;
+  Micros start = 0;
+  Micros end = 0;
+};
+
+namespace internal {
+
+// Shared mutable state behind a Trace and every Context captured from it.
+// Held by shared_ptr so async hops outlive the originating Trace object.
+struct TraceState {
+  explicit TraceState(const Clock* c) : clock(c) {}
+
+  const Clock* const clock;
+  mutable Mutex mu;
+  std::vector<TraceSpan> spans FS_GUARDED_BY(mu);  // index == id - 1
+  int64_t next_id FS_GUARDED_BY(mu) = 1;
+};
+
+}  // namespace internal
+
+// A request trace. Construction opens the root span; Finish() (or the
+// destructor) closes it. Thread-safe: spans may be opened from any thread
+// holding a context.
+class Trace {
+ public:
+  // A copyable, resumable handle: "this trace, parented at this span".
+  // Default-constructed (or captured with no ambient trace) contexts are
+  // inactive — resuming them is a no-op, so untraced requests pay nothing.
+  struct Context {
+    std::shared_ptr<internal::TraceState> state;
+    int64_t parent_id = 0;
+
+    bool active() const { return state != nullptr; }
+  };
+
+  Trace(const Clock* clock, std::string name);
+  ~Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  // Closes the root span (idempotent).
+  void Finish();
+
+  // Context parented at the root span, for manual propagation.
+  Context context() const;
+
+  // Snapshot of all spans recorded so far (any thread).
+  std::vector<TraceSpan> spans() const;
+
+  // Human-readable tree, children indented under parents, times relative to
+  // the root span's start:
+  //   trace "ycsb.update" (7 spans)
+  //     service.commit  +0us dur=310us
+  //       backend.commit  +10us dur=290us
+  std::string Dump() const;
+
+ private:
+  std::shared_ptr<internal::TraceState> state_;
+  static constexpr int64_t kRootId = 1;
+};
+
+// Installs a trace (or resumed context) as the calling thread's ambient
+// trace for the scope's lifetime; restores the previous ambient on exit.
+// Resuming an inactive Context installs "no trace" (inner FS_SPANs no-op).
+class TraceScope {
+ public:
+  explicit TraceScope(const Trace& trace);
+  explicit TraceScope(const Trace::Context& context);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::shared_ptr<internal::TraceState> saved_state_;
+  int64_t saved_parent_ = 0;
+};
+
+// RAII span against the ambient trace; no-op when none is installed.
+// Prefer the FS_SPAN macro. Span open/close takes the trace's own mutex
+// only — never a module lock — and sites should sit outside critical
+// sections where feasible.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  internal::TraceState* state_ = nullptr;  // null: inactive
+  int64_t id_ = 0;
+  int64_t saved_parent_ = 0;
+};
+
+// Captures the calling thread's ambient context (inactive if none) for
+// handoff to async work.
+Trace::Context CurrentTraceContext();
+
+}  // namespace firestore
+
+#define FS_SPAN_CONCAT_INNER(a, b) a##b
+#define FS_SPAN_CONCAT(a, b) FS_SPAN_CONCAT_INNER(a, b)
+
+// Opens a span named `name` (a unique catalogued string literal, see
+// docs/OBSERVABILITY.md) covering the rest of the enclosing block.
+#define FS_SPAN(name) \
+  ::firestore::ScopedSpan FS_SPAN_CONCAT(fs_span_, __LINE__)(name)
+
+#endif  // FIRESTORE_COMMON_TRACE_H_

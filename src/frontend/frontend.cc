@@ -17,11 +17,8 @@ Frontend::Frontend(const Clock* clock, backend::ReadService* reader,
                    rtcache::QueryMatcher* matcher,
                    const rtcache::RangeOwnership* ranges,
                    TenantResolver tenants)
-    : clock_(clock),
-      reader_(reader),
-      matcher_(matcher),
-      ranges_(ranges),
-      tenants_(std::move(tenants)) {}
+    : Frontend(clock, reader, matcher, ranges, std::move(tenants),
+               Options()) {}
 
 Frontend::Frontend(const Clock* clock, backend::ReadService* reader,
                    rtcache::QueryMatcher* matcher,
@@ -32,7 +29,11 @@ Frontend::Frontend(const Clock* clock, backend::ReadService* reader,
       matcher_(matcher),
       ranges_(ranges),
       tenants_(std::move(tenants)),
-      options_(options) {}
+      options_(options),
+      snapshots_counter_(FS_METRIC_COUNTER("frontend.snapshots")),
+      resets_counter_(FS_METRIC_COUNTER("frontend.resets")),
+      snapshots_base_(snapshots_counter_.value()),
+      resets_base_(resets_counter_.value()) {}
 
 Frontend::ConnectionId Frontend::OpenConnection(
     const std::string& database_id, rules::AuthContext auth) {
@@ -71,6 +72,7 @@ void Frontend::CloseConnection(ConnectionId connection) {
 StatusOr<Frontend::TargetId> Frontend::Listen(ConnectionId connection,
                                               query::Query q,
                                               SnapshotCallback callback) {
+  FS_SPAN("frontend.listen");
   RETURN_IF_ERROR(q.Validate());
   QuerySnapshot initial;
   SnapshotCallback cb_copy;
@@ -94,7 +96,7 @@ StatusOr<Frontend::TargetId> Frontend::Listen(ConnectionId connection,
     conn->second.targets.push_back(id);
     targets_.emplace(id, std::move(target));
   }
-  ++snapshots_delivered_;
+  snapshots_counter_.Increment();
   cb_copy(initial);
   return id;
 }
@@ -240,6 +242,11 @@ QuerySnapshot Frontend::BuildSnapshotLocked(Target& target, Timestamp t) {
   snapshot.snapshot_ts = t;
   std::map<std::string, DocumentChange> net;
   auto end = target.pending.upper_bound(t);
+  // The earliest applied change lends the snapshot its trace context, so
+  // that commit's trace covers the delivery below.
+  if (target.pending.begin() != end) {
+    snapshot.trace = target.pending.begin()->second.trace;
+  }
   for (auto it = target.pending.begin(); it != end; ++it) {
     net[it->second.name.CanonicalString()] = it->second;
   }
@@ -302,7 +309,7 @@ void Frontend::Pump() {
         ++it;
         continue;
       }
-      ++resets_;
+      resets_counter_.Increment();
       StatusOr<QuerySnapshot> snapshot = ResetTargetLocked(id, target);
       if (snapshot.ok()) {
         deliveries.emplace_back(target.callback, std::move(*snapshot));
@@ -366,7 +373,11 @@ void Frontend::Pump() {
   }
   for (uint64_t sub : to_unsubscribe) matcher_->Unsubscribe(sub);
   for (auto& [callback, snapshot] : deliveries) {
-    ++snapshots_delivered_;
+    snapshots_counter_.Increment();
+    // Resume the originating commit's trace for the notification leg: this
+    // is the write-to-listener latency the paper's Figure 9 measures.
+    TraceScope scope(snapshot.trace);
+    FS_SPAN("frontend.deliver");
     callback(snapshot);
   }
 }

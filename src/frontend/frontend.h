@@ -17,7 +17,6 @@
 #ifndef FIRESTORE_FRONTEND_FRONTEND_H_
 #define FIRESTORE_FRONTEND_FRONTEND_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -27,10 +26,12 @@
 
 #include "backend/read_service.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 #include "firestore/query/query.h"
 #include "firestore/rules/rules.h"
 #include "rtcache/changelog.h"
@@ -70,6 +71,10 @@ struct QuerySnapshot {
   // Terminal failure: set when out-of-sync recovery exhausted its retry
   // budget. The listen target has been removed; no further snapshots follow.
   Status error;
+  // Trace context of the commit that produced this snapshot's first applied
+  // change, so the notification leg (frontend.deliver) lands in the same
+  // trace as the originating write. Inert for initial/reset snapshots.
+  Trace::Context trace;
 };
 
 using SnapshotCallback = std::function<void(const QuerySnapshot&)>;
@@ -114,9 +119,13 @@ class Frontend {
   // consistent under the rules above. Call after Changelog::Tick().
   void Pump();
 
-  // -- Stats --
-  int64_t snapshots_delivered() const { return snapshots_delivered_.load(); }
-  int64_t resets() const { return resets_.load(); }
+  // -- Stats -- readable without the Frontend lock. Registry counters
+  // (frontend.*, docs/OBSERVABILITY.md) are the source of truth; accessors
+  // report the delta since this instance was built.
+  int64_t snapshots_delivered() const {
+    return snapshots_counter_.value() - snapshots_base_;
+  }
+  int64_t resets() const { return resets_counter_.value() - resets_base_; }
   int active_targets() const;
 
  private:
@@ -189,8 +198,11 @@ class Frontend {
   std::map<ConnectionId, Connection> connections_ FS_GUARDED_BY(mu_);
   std::map<TargetId, Target> targets_ FS_GUARDED_BY(mu_);
   std::map<uint64_t, TargetId> by_subscription_ FS_GUARDED_BY(mu_);
-  std::atomic<int64_t> snapshots_delivered_{0};
-  std::atomic<int64_t> resets_{0};
+  // Registry-backed stats (lock-free increments; see accessor comment).
+  Counter& snapshots_counter_;
+  Counter& resets_counter_;
+  const int64_t snapshots_base_;
+  const int64_t resets_base_;
 };
 
 }  // namespace firestore::frontend

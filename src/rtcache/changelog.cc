@@ -4,6 +4,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "firestore/index/layout.h"
 
 namespace firestore::rtcache {
@@ -15,11 +16,22 @@ using spanner::Timestamp;
 
 Changelog::Changelog(const Clock* clock, const RangeOwnership* ranges,
                      QueryMatcher* matcher)
-    : clock_(clock), ranges_(ranges), matcher_(matcher) {}
+    : Changelog(clock, ranges, matcher, Options()) {}
 
 Changelog::Changelog(const Clock* clock, const RangeOwnership* ranges,
                      QueryMatcher* matcher, Options options)
-    : clock_(clock), ranges_(ranges), matcher_(matcher), options_(options) {}
+    : clock_(clock),
+      ranges_(ranges),
+      matcher_(matcher),
+      options_(options),
+      prepares_counter_(FS_METRIC_COUNTER("rtcache.prepares")),
+      accepts_counter_(FS_METRIC_COUNTER("rtcache.accepts")),
+      out_of_sync_counter_(FS_METRIC_COUNTER("rtcache.out_of_sync")),
+      released_counter_(FS_METRIC_COUNTER("rtcache.released")),
+      prepares_base_(prepares_counter_.value()),
+      accepts_base_(accepts_counter_.value()),
+      out_of_sync_base_(out_of_sync_counter_.value()),
+      released_base_(released_counter_.value()) {}
 
 void Changelog::set_unavailable(bool unavailable) {
   if (unavailable) {
@@ -38,7 +50,7 @@ StatusOr<PrepareHandle> Changelog::Prepare(
     Timestamp max_commit_ts) {
   RETURN_IF_ERROR(FS_FAULT_POINT("rtcache.prepare"));
   MutexLock lock(&mu_);
-  ++prepares_;
+  prepares_counter_.Increment();
   std::vector<RangeId> touched;
   for (const model::ResourcePath& name : names) {
     RangeId r = ranges_->OwnerOf(index::EntityKey(database_id, name));
@@ -78,7 +90,7 @@ void Changelog::Accept(uint64_t token, WriteOutcome outcome,
   if (FS_FAULT_TRIGGERED("rtcache.accept.drop")) return;
   {
     MutexLock lock(&mu_);
-    ++accepts_;
+    accepts_counter_.Increment();
     auto it = pending_.find(token);
     if (it == pending_.end()) {
       // The prepare already expired and its ranges were reset; drop.
@@ -124,7 +136,7 @@ void Changelog::Accept(uint64_t token, WriteOutcome outcome,
                                  std::move(entry->second.database_id),
                                  std::move(entry->second.change)});
         state.buffer.erase(entry);
-        ++mutations_released_;
+        released_counter_.Increment();
       }
     }
   }
@@ -159,7 +171,7 @@ void Changelog::Tick() {
                                  std::move(entry->second.database_id),
                                  std::move(entry->second.change)});
         state.buffer.erase(entry);
-        ++mutations_released_;
+        released_counter_.Increment();
       }
       notify_queue_.push_back(
           {Notification::Kind::kWatermark, r, w, {}, {}});
@@ -175,7 +187,7 @@ void Changelog::MarkOutOfSyncLocked(RangeId range) {
   state.watermark = clock_->NowMicros();
   state.last_assigned_min = std::max(state.last_assigned_min,
                                      state.watermark);
-  ++out_of_sync_events_;
+  out_of_sync_counter_.Increment();
   notify_queue_.push_back(
       {Notification::Kind::kOutOfSync, range, state.watermark, {}, {}});
 }
@@ -200,9 +212,15 @@ void Changelog::DrainNotifications() {
       notify_queue_.pop_front();
     }
     switch (n.kind) {
-      case Notification::Kind::kRelease:
+      case Notification::Kind::kRelease: {
+        // Resume the originating commit's trace across the async hop: the
+        // context rode in on the buffered DocumentChange, possibly long
+        // after the committing thread returned.
+        TraceScope scope(n.change.trace);
+        FS_SPAN("rtcache.release");
         matcher_->OnDocumentChange(n.database_id, n.range, n.ts, n.change);
         break;
+      }
       case Notification::Kind::kWatermark:
         matcher_->OnWatermark(n.range, n.ts);
         break;

@@ -13,7 +13,6 @@
 #ifndef FIRESTORE_RTCACHE_CHANGELOG_H_
 #define FIRESTORE_RTCACHE_CHANGELOG_H_
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -21,6 +20,7 @@
 #include <vector>
 
 #include "backend/types.h"
+#include "common/metrics.h"
 #include "common/thread_annotations.h"
 #include "common/clock.h"
 #include "rtcache/query_matcher.h"
@@ -65,11 +65,20 @@ class Changelog : public backend::RealTimeParticipant {
 
   spanner::Timestamp watermark(RangeId range) const;
 
-  // -- Stats -- (atomics: read without the Changelog lock)
-  int64_t prepares() const { return prepares_.load(); }
-  int64_t accepts() const { return accepts_.load(); }
-  int64_t out_of_sync_events() const { return out_of_sync_events_.load(); }
-  int64_t mutations_released() const { return mutations_released_.load(); }
+  // -- Stats -- readable without the Changelog lock. The process-global
+  // MetricRegistry counters (rtcache.*, docs/OBSERVABILITY.md) are the
+  // source of truth; these report the delta since this instance was built,
+  // preserving the old per-instance accessor semantics.
+  int64_t prepares() const {
+    return prepares_counter_.value() - prepares_base_;
+  }
+  int64_t accepts() const { return accepts_counter_.value() - accepts_base_; }
+  int64_t out_of_sync_events() const {
+    return out_of_sync_counter_.value() - out_of_sync_base_;
+  }
+  int64_t mutations_released() const {
+    return released_counter_.value() - released_base_;
+  }
 
  private:
   struct PendingPrepare {
@@ -126,10 +135,15 @@ class Changelog : public backend::RealTimeParticipant {
   std::map<RangeId, RangeState> range_states_ FS_GUARDED_BY(mu_);
   std::deque<Notification> notify_queue_ FS_GUARDED_BY(mu_);
   bool notifying_ FS_GUARDED_BY(mu_) = false;
-  std::atomic<int64_t> prepares_{0};
-  std::atomic<int64_t> accepts_{0};
-  std::atomic<int64_t> out_of_sync_events_{0};
-  std::atomic<int64_t> mutations_released_{0};
+  // Registry-backed stats (lock-free increments; see accessor comment).
+  Counter& prepares_counter_;
+  Counter& accepts_counter_;
+  Counter& out_of_sync_counter_;
+  Counter& released_counter_;
+  const int64_t prepares_base_;
+  const int64_t accepts_base_;
+  const int64_t out_of_sync_base_;
+  const int64_t released_base_;
 };
 
 }  // namespace firestore::rtcache

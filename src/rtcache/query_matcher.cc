@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace firestore::rtcache {
+
+QueryMatcher::QueryMatcher()
+    : matched_counter_(FS_METRIC_COUNTER("rtcache.matcher.matched")),
+      examined_counter_(FS_METRIC_COUNTER("rtcache.matcher.examined")),
+      matched_base_(matched_counter_.value()),
+      examined_base_(examined_counter_.value()) {}
 
 void QueryMatcher::Subscribe(uint64_t subscription_id,
                              const std::string& database_id,
@@ -30,6 +38,9 @@ void QueryMatcher::Unsubscribe(uint64_t subscription_id) {
 void QueryMatcher::OnDocumentChange(const std::string& database_id,
                                     RangeId range, spanner::Timestamp ts,
                                     const backend::DocumentChange& change) {
+  // Child of the Changelog's rtcache.release span (the caller resumed the
+  // commit's trace context before this call).
+  FS_SPAN("rtcache.match");
   // Copy the relevant sinks under the lock; call them outside it so a sink
   // may re-enter (e.g. to unsubscribe).
   std::vector<std::pair<uint64_t, EventSink>> targets;
@@ -40,13 +51,13 @@ void QueryMatcher::OnDocumentChange(const std::string& database_id,
     for (uint64_t id : it->second) {
       const Subscription& sub = subscriptions_.at(id);
       if (sub.database_id != database_id) continue;
-      ++documents_examined_;
+      examined_counter_.Increment();
       bool new_matches =
           change.new_doc.has_value() && sub.query.Matches(*change.new_doc);
       bool old_matches =
           change.old_doc.has_value() && sub.query.Matches(*change.old_doc);
       if (!new_matches && !old_matches) continue;  // irrelevant to query
-      ++documents_matched_;
+      matched_counter_.Increment();
       targets.emplace_back(id, sub.sink);
     }
   }

@@ -5,7 +5,6 @@
 #ifndef FIRESTORE_RTCACHE_QUERY_MATCHER_H_
 #define FIRESTORE_RTCACHE_QUERY_MATCHER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -13,6 +12,7 @@
 #include <vector>
 
 #include "backend/types.h"
+#include "common/metrics.h"
 #include "common/thread_annotations.h"
 #include "firestore/query/query.h"
 #include "rtcache/range_ownership.h"
@@ -39,7 +39,7 @@ using EventSink = std::function<void(uint64_t subscription_id,
 
 class QueryMatcher {
  public:
-  QueryMatcher() = default;
+  QueryMatcher();
 
   // Registers a query for matching on `ranges` (the document-name ranges
   // covering its result set). The Subscribe carries the query itself so only
@@ -63,9 +63,15 @@ class QueryMatcher {
 
   void OnOutOfSync(RangeId range);
 
-  // -- Stats -- (atomics: read without the matcher lock)
-  int64_t documents_matched() const { return documents_matched_.load(); }
-  int64_t documents_examined() const { return documents_examined_.load(); }
+  // -- Stats -- readable without the matcher lock. Registry counters
+  // (rtcache.matcher.*, docs/OBSERVABILITY.md) are the source of truth;
+  // accessors report the delta since this instance was built.
+  int64_t documents_matched() const {
+    return matched_counter_.value() - matched_base_;
+  }
+  int64_t documents_examined() const {
+    return examined_counter_.value() - examined_base_;
+  }
   int subscription_count() const;
 
  private:
@@ -80,8 +86,11 @@ class QueryMatcher {
   std::map<uint64_t, Subscription> subscriptions_ FS_GUARDED_BY(mu_);
   // range -> subscription ids registered on it.
   std::map<RangeId, std::vector<uint64_t>> by_range_ FS_GUARDED_BY(mu_);
-  std::atomic<int64_t> documents_matched_{0};
-  std::atomic<int64_t> documents_examined_{0};
+  // Registry-backed stats (lock-free increments; see accessor comment).
+  Counter& matched_counter_;
+  Counter& examined_counter_;
+  const int64_t matched_base_;
+  const int64_t examined_base_;
 };
 
 }  // namespace firestore::rtcache

@@ -124,6 +124,12 @@ class FirestoreService {
   void Pump();
 
   // -- Introspection --
+
+  // Operator view of the process: the full metrics snapshot
+  // (docs/OBSERVABILITY.md) plus fault-point status, as text. Not a stable
+  // format; for humans, tests, and bench dumps.
+  std::string DebugDump() const;
+
   spanner::Database& spanner() { return spanner_; }
   backend::BillingLedger& billing() { return billing_; }
   functions::FunctionRegistry& functions() { return functions_; }

@@ -4,6 +4,8 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace firestore::spanner {
 
@@ -117,6 +119,7 @@ void ReadWriteTransaction::AddMessage(const std::string& topic,
 StatusOr<CommitResult> ReadWriteTransaction::Commit(Timestamp min_allowed,
                                                     Timestamp max_allowed) {
   if (finished_) return FailedPreconditionError("transaction finished");
+  FS_SPAN("spanner.commit");
   // Injected commit failures happen before any locks or data are touched,
   // so they are always definitive (safe to retry).
   if (Status fault = FS_FAULT_POINT("spanner.txn.commit"); !fault.ok()) {
@@ -174,6 +177,7 @@ StatusOr<CommitResult> ReadWriteTransaction::Commit(Timestamp min_allowed,
   }
   finished_ = true;
   db_->lock_manager_.ReleaseAll(id_);
+  FS_METRIC_COUNTER("spanner.txn.commits").Increment();
   return result;
 }
 
@@ -182,6 +186,7 @@ void ReadWriteTransaction::Abort() {
   db_->lock_manager_.ReleaseAll(id_);
   writes_.clear();
   messages_.clear();
+  FS_METRIC_COUNTER("spanner.txn.aborts").Increment();
 }
 
 // ---------------------------------------------------------------------------

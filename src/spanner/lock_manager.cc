@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 
 namespace firestore::spanner {
 
@@ -52,11 +53,14 @@ Status LockManager::Acquire(TxnId txn, const std::string& key, LockMode mode,
       if (holder > txn) {  // younger
         wounded_.insert(holder);
         wounded_someone = true;
+        FS_METRIC_COUNTER("spanner.lock.wounds").Increment();
       }
     }
     if (wounded_someone) cv_.NotifyAll();
+    FS_METRIC_COUNTER("spanner.lock.waits").Increment();
     if (timeout_ms > 0) {
       if (!cv_.WaitUntil(&mu_, deadline)) {
+        FS_METRIC_COUNTER("spanner.lock.timeouts").Increment();
         return DeadlineExceededError("lock wait timeout");
       }
     } else {

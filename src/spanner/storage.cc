@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace firestore::spanner {
 
@@ -26,12 +27,16 @@ void Tablet::Apply(const Key& key, RowValue value, Timestamp ts) {
     stats_.bytes += static_cast<int64_t>(value->size() + key.size());
   }
   ++stats_.writes;
+  // Registry mirror of the per-tablet load stats (which reset on split and
+  // stay functional for load splitting): process-wide monotonic totals.
+  FS_METRIC_COUNTER("spanner.rows.written").Increment();
   versions.emplace(ts, std::move(value));
 }
 
 RowValue Tablet::ReadAt(const Key& key, Timestamp ts,
                         Timestamp* version) const {
   ++stats_.reads;
+  FS_METRIC_COUNTER("spanner.rows.read").Increment();
   if (version != nullptr) *version = 0;
   auto row = rows_.find(key);
   if (row == rows_.end()) return std::nullopt;
@@ -60,6 +65,7 @@ int64_t Tablet::ScanAt(
     if (!vit->second.has_value()) continue;  // tombstone
     ++visited;
     ++stats_.reads;
+    FS_METRIC_COUNTER("spanner.rows.scanned").Increment();
     if (!cb(it->first, *vit->second, vit->first)) break;
   }
   return visited;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace firestore::spanner {
 
 StatusOr<Timestamp> TimestampOracle::Allocate(Timestamp min_allowed,
@@ -10,6 +12,7 @@ StatusOr<Timestamp> TimestampOracle::Allocate(Timestamp min_allowed,
   Timestamp floor = std::max<Timestamp>(last_ + 1, clock_->NowMicros());
   floor = std::max(floor, min_allowed);
   if (floor > max_allowed) {
+    FS_METRIC_COUNTER("spanner.ts.allocation_failures").Increment();
     return AbortedError("cannot allocate commit timestamp <= max_allowed");
   }
   last_ = floor;
@@ -22,6 +25,7 @@ Timestamp TimestampOracle::last_allocated() const {
 }
 
 Timestamp TimestampOracle::StrongReadTimestamp() const {
+  FS_METRIC_COUNTER("spanner.ts.strong_reads").Increment();
   MutexLock lock(&mu_);
   // Reserve the returned timestamp: commits after a strong read must be
   // strictly greater, so the snapshot the read observed stays immutable.

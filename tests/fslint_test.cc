@@ -169,6 +169,39 @@ TEST(FslintFaultRegistryTest, CatalogParserReadsTheRealCatalog) {
   }
 }
 
+TEST(FslintMetricRegistryTest, FlagsDuplicatesUncataloguedAndOrphans) {
+  Options options;
+  options.metric_catalog_path = "tools/fslint/testdata/metric_catalog.md";
+  options.metric_catalog =
+      ParseMetricCatalog(ReadFile(Testdata() / "metric_catalog.md"));
+  std::vector<Finding> findings = LintFixture(
+      "metric_registry.cc", "src/fixture/metric_registry.cc", options);
+  EXPECT_EQ(Keys(findings),
+            (std::multiset<std::string>{
+                // "fixture.metric.duplicate" is declared at two sites:
+                "metric-name-registry src/fixture/metric_registry.cc:10",
+                "metric-name-registry src/fixture/metric_registry.cc:12",
+                // "fixture.span.uncatalogued" is missing from the catalog:
+                "metric-name-registry src/fixture/metric_registry.cc:14",
+                // "fixture.metric.orphan" / "fixture.span.orphan" are
+                // catalogued but never declared:
+                "metric-name-registry tools/fslint/testdata/"
+                "metric_catalog.md:10",
+                "metric-name-registry tools/fslint/testdata/"
+                "metric_catalog.md:16",
+            }));
+}
+
+TEST(FslintMetricRegistryTest, CatalogParserReadsTheRealCatalog) {
+  std::vector<CatalogEntry> catalog = ParseMetricCatalog(ReadFile(
+      std::filesystem::path(FS_SOURCE_DIR) / "docs/OBSERVABILITY.md"));
+  EXPECT_GE(catalog.size(), 30u);
+  for (const CatalogEntry& entry : catalog) {
+    EXPECT_FALSE(entry.name.empty());
+    EXPECT_GT(entry.line, 0);
+  }
+}
+
 TEST(FslintLockCycleTest, FlagsMutualNestingAsCyclePlusUndeclaredEdges) {
   std::vector<Finding> findings =
       LintFixture("lock_cycle.cc", "src/fixture/lock_cycle.cc");
@@ -320,6 +353,8 @@ TEST(FslintTreeSweepTest, RealSrcTreeIsCleanAndGraphMatchesAnnotations) {
   Options options;
   options.fault_catalog =
       ParseFaultCatalog(ReadFile(root / "docs" / "ROBUSTNESS.md"));
+  options.metric_catalog =
+      ParseMetricCatalog(ReadFile(root / "docs" / "OBSERVABILITY.md"));
   options.layering = RealLayeringConfig(&config_findings);
   EXPECT_EQ(Keys(config_findings), std::multiset<std::string>{});
   LockGraph graph;

@@ -538,6 +538,62 @@ void CheckFaultRegistry(
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-file rule: metric-name-registry. Same discipline as the fault-point
+// registry, for FS_METRIC_* / FS_SPAN names: unique in src/ and
+// bidirectionally synced with the docs/OBSERVABILITY.md catalogs.
+// ---------------------------------------------------------------------------
+
+void CheckMetricRegistry(
+    const std::vector<std::pair<const SourceFile*, StringLiteral>>& sites,
+    const Options& options, std::vector<Finding>* out) {
+  std::map<std::string, std::vector<FaultSite>> by_name;
+  for (const auto& [file, lit] : sites) {
+    by_name[lit.value].push_back({file->path, lit.line});
+  }
+
+  std::set<std::string> catalogued;
+  for (const CatalogEntry& entry : options.metric_catalog) {
+    catalogued.insert(entry.name);
+  }
+
+  for (const auto& [name, uses] : by_name) {
+    if (uses.size() > 1) {
+      for (const FaultSite& site : uses) {
+        std::ostringstream msg;
+        msg << "metric/span name \"" << name << "\" is declared at "
+            << uses.size() << " sites (";
+        bool first = true;
+        for (const FaultSite& other : uses) {
+          if (!first) msg << ", ";
+          first = false;
+          msg << other.path << ":" << other.line;
+        }
+        msg << "); names must be unique so a metric maps to exactly one "
+               "site";
+        out->push_back({kRuleMetricNameRegistry, site.path, site.line,
+                        msg.str()});
+      }
+    }
+    if (!options.metric_catalog.empty() && catalogued.count(name) == 0) {
+      for (const FaultSite& site : uses) {
+        out->push_back({kRuleMetricNameRegistry, site.path, site.line,
+                        "metric/span name \"" + name +
+                            "\" is not listed in the " +
+                            options.metric_catalog_path + " catalogs"});
+      }
+    }
+  }
+  for (const CatalogEntry& entry : options.metric_catalog) {
+    if (by_name.count(entry.name) == 0) {
+      out->push_back(
+          {kRuleMetricNameRegistry, options.metric_catalog_path, entry.line,
+           "catalogued metric/span name \"" + entry.name +
+               "\" no longer exists in src/ (stale catalog row)"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<StringLiteral> ExtractFaultPoints(const SourceFile& file) {
@@ -580,6 +636,68 @@ std::vector<CatalogEntry> ParseFaultCatalog(std::string_view markdown) {
     ++line_no;
     if (line.rfind("#", 0) == 0) {
       in_section = line.find("Point catalog") != std::string_view::npos;
+    } else if (in_section && line.rfind("| `", 0) == 0) {
+      size_t open = 3;
+      size_t close = line.find('`', open);
+      if (close != std::string_view::npos && close > open) {
+        out.push_back(
+            {std::string(line.substr(open, close - open)), line_no});
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return out;
+}
+
+std::vector<StringLiteral> ExtractMetricNames(const SourceFile& file) {
+  std::vector<StringLiteral> out;
+  for (const StringLiteral& lit : file.strings) {
+    if (lit.line <= 0 ||
+        static_cast<size_t>(lit.line) > file.code_lines.size()) {
+      continue;
+    }
+    const std::string& code = file.code_lines[lit.line - 1];
+    std::string_view prefix(code.data(),
+                            std::min<size_t>(lit.col, code.size()));
+    while (!prefix.empty() &&
+           std::isspace(static_cast<unsigned char>(prefix.back()))) {
+      prefix.remove_suffix(1);
+    }
+    if (prefix.empty() || prefix.back() != '(') continue;
+    prefix.remove_suffix(1);
+    while (!prefix.empty() &&
+           std::isspace(static_cast<unsigned char>(prefix.back()))) {
+      prefix.remove_suffix(1);
+    }
+    // The first argument of every macro is the name; _FOR labels follow a
+    // comma, not a '(', so they are never extracted.
+    if (EndsWith(prefix, "FS_METRIC_COUNTER") ||
+        EndsWith(prefix, "FS_METRIC_GAUGE") ||
+        EndsWith(prefix, "FS_METRIC_TIMER") ||
+        EndsWith(prefix, "FS_METRIC_COUNTER_FOR") ||
+        EndsWith(prefix, "FS_METRIC_GAUGE_FOR") ||
+        EndsWith(prefix, "FS_METRIC_TIMER_FOR") ||
+        EndsWith(prefix, "FS_SPAN")) {
+      out.push_back(lit);
+    }
+  }
+  return out;
+}
+
+std::vector<CatalogEntry> ParseMetricCatalog(std::string_view markdown) {
+  std::vector<CatalogEntry> out;
+  bool in_section = false;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= markdown.size()) {
+    size_t nl = markdown.find('\n', pos);
+    std::string_view line = markdown.substr(
+        pos, nl == std::string_view::npos ? markdown.size() - pos : nl - pos);
+    ++line_no;
+    if (line.rfind("#", 0) == 0) {
+      in_section = line.find("Metric catalog") != std::string_view::npos ||
+                   line.find("Span catalog") != std::string_view::npos;
     } else if (in_section && line.rfind("| `", 0) == 0) {
       size_t open = 3;
       size_t close = line.find('`', open);
@@ -646,6 +764,7 @@ std::vector<Finding> Lint(const std::vector<FileInput>& files,
   // Phase 2: rules.
   std::vector<Finding> findings;
   std::vector<std::pair<const SourceFile*, StringLiteral>> fault_sites;
+  std::vector<std::pair<const SourceFile*, StringLiteral>> metric_sites;
 
   for (size_t i = 0; i < lexed.size(); ++i) {
     const SourceFile& file = lexed[i];
@@ -664,11 +783,15 @@ std::vector<Finding> Lint(const std::vector<FileInput>& files,
       for (const StringLiteral& lit : ExtractFaultPoints(file)) {
         fault_sites.emplace_back(&file, lit);
       }
+      for (const StringLiteral& lit : ExtractMetricNames(file)) {
+        metric_sites.emplace_back(&file, lit);
+      }
     }
     CheckHeaderHygiene(file, structure, &findings);
   }
 
   CheckFaultRegistry(fault_sites, options, &findings);
+  CheckMetricRegistry(metric_sites, options, &findings);
 
   // Whole-program lock-graph pass (lock-cycle / lock-order-* rules).
   if (options.lock_graph) {

@@ -75,6 +75,10 @@ struct Options {
   std::vector<CatalogEntry> fault_catalog;
   // Path the catalog came from, used for catalog-side diagnostics.
   std::string catalog_path = "docs/ROBUSTNESS.md";
+  // Parsed metric + span catalogs from docs/OBSERVABILITY.md. When empty
+  // the metric-name-registry rule only checks in-code uniqueness.
+  std::vector<CatalogEntry> metric_catalog;
+  std::string metric_catalog_path = "docs/OBSERVABILITY.md";
   // Module DAG for the layering pass; when not loaded() the pass is off.
   LayeringConfig layering;
   // Whole-program lock-graph pass (lock-cycle / lock-order-* rules).
@@ -97,6 +101,7 @@ inline constexpr char kRuleLockedSuffix[] = "locked-suffix";
 inline constexpr char kRuleGuardedMember[] = "guarded-member";
 inline constexpr char kRuleDeterminism[] = "determinism";
 inline constexpr char kRuleFaultPointRegistry[] = "fault-point-registry";
+inline constexpr char kRuleMetricNameRegistry[] = "metric-name-registry";
 inline constexpr char kRuleHeaderHygiene[] = "header-hygiene";
 inline constexpr char kRuleSuppression[] = "suppression";
 inline constexpr char kRuleLockCycle[] = "lock-cycle";
@@ -118,6 +123,14 @@ std::vector<StringLiteral> ExtractFaultPoints(const SourceFile& file);
 // Parses the "### Point catalog" markdown table out of docs/ROBUSTNESS.md
 // text. Rows look like `| \`name\` | layer | what |`.
 std::vector<CatalogEntry> ParseFaultCatalog(std::string_view markdown);
+
+// Extracts the metric/span name literals passed to the FS_METRIC_* macros
+// and FS_SPAN in `file` (definition sites; labels are not names).
+std::vector<StringLiteral> ExtractMetricNames(const SourceFile& file);
+
+// Parses the "Metric catalog" and "Span catalog" markdown tables out of
+// docs/OBSERVABILITY.md text. Rows look like `| \`name\` | kind | what |`.
+std::vector<CatalogEntry> ParseMetricCatalog(std::string_view markdown);
 
 }  // namespace fslint
 

@@ -69,6 +69,9 @@ constexpr RuleDoc kRules[] = {
      "nondeterminism source (wall clock, raw rand, iteration order) in src/"},
     {fslint::kRuleFaultPointRegistry,
      "fault-point name not unique or not catalogued in docs/ROBUSTNESS.md"},
+    {fslint::kRuleMetricNameRegistry,
+     "metric/span name not unique or not catalogued in "
+     "docs/OBSERVABILITY.md"},
     {fslint::kRuleHeaderHygiene,
      "header missing include guard or using-directive at namespace scope"},
     {fslint::kRuleSuppression,
@@ -206,6 +209,14 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "fslint: warning: docs/ROBUSTNESS.md not found; "
                  "fault-point catalog cross-check limited to uniqueness\n";
+  }
+  std::string metric_catalog_text;
+  if (ReadFile(root_path / "docs" / "OBSERVABILITY.md",
+               &metric_catalog_text)) {
+    options.metric_catalog = fslint::ParseMetricCatalog(metric_catalog_text);
+  } else {
+    std::cerr << "fslint: warning: docs/OBSERVABILITY.md not found; "
+                 "metric-name catalog cross-check limited to uniqueness\n";
   }
 
   // Findings against the layering config itself (parse errors, undeclared

@@ -1,0 +1,20 @@
+// Fixture for the metric-name-registry rule (linted as
+// src/fixture/metric_registry.cc, catalogued by metric_catalog.md).
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace firestore {
+
+void First() { FS_METRIC_COUNTER("fixture.metric.alpha").Increment(); }
+
+void Second() { FS_METRIC_COUNTER("fixture.metric.duplicate").Increment(); }
+
+void Third() { FS_METRIC_TIMER("fixture.metric.duplicate").Record(1); }
+
+void Fourth() { FS_SPAN("fixture.span.uncatalogued"); }
+
+void Fifth() {
+  FS_METRIC_COUNTER_FOR("fixture.metric.labeled", "a-label").Increment();
+}
+
+}  // namespace firestore
